@@ -1,0 +1,353 @@
+package nanotarget
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"nanotarget/internal/campaign"
+	"nanotarget/internal/countermeasures"
+	"nanotarget/internal/experiment"
+	"nanotarget/internal/fdvt"
+	"nanotarget/internal/population"
+	"nanotarget/internal/simclock"
+	"nanotarget/internal/weblog"
+)
+
+// NanotargetingOptions configures RunNanotargeting (§5.1 defaults).
+type NanotargetingOptions struct {
+	// TargetIndices are panel indices of the consenting targets (default:
+	// the three panel users with ≥22 interests whose profile sizes are
+	// closest to the panel median — ordinary users, like the authors).
+	TargetIndices []int
+	// InterestCounts are the nested campaign sizes
+	// (default 5, 7, 9, 12, 18, 20, 22).
+	InterestCounts []int
+	// DailyBudgetCents per campaign (default 7000 = 70 €).
+	DailyBudgetCents int64
+	// Seed varies the experiment independently of the world seed.
+	Seed uint64
+}
+
+// CampaignRow is one row of Table 2.
+type CampaignRow struct {
+	User         int // 1-based, as the paper labels them
+	Interests    int
+	Seen         bool
+	Reached      int64
+	Impressions  int64
+	TFI          time.Duration
+	CostCents    int64
+	Clicks       int
+	UniqueIPs    int
+	Nanotargeted bool
+}
+
+// NanotargetingReport is the §5 experiment outcome.
+type NanotargetingReport struct {
+	rows             []CampaignRow
+	rep              *experiment.Report
+	Successes        int
+	TotalCostCents   int64
+	SuccessCostCents int64
+}
+
+// Rows returns the Table 2 rows (sorted by user then interest count).
+func (r *NanotargetingReport) Rows() []CampaignRow {
+	out := make([]CampaignRow, len(r.rows))
+	copy(out, r.rows)
+	return out
+}
+
+// SuccessesWithAtLeast reports the success fraction among campaigns with at
+// least n interests (the paper's "8 of 9 campaigns with 18+").
+func (r *NanotargetingReport) SuccessesWithAtLeast(n int) (succ, total int) {
+	return r.rep.SuccessesWithAtLeast(n)
+}
+
+// WriteTable2 renders the paper's Table 2 layout.
+func (r *NanotargetingReport) WriteTable2(w io.Writer) error { return r.rep.Render(w) }
+
+// RunNanotargeting executes the §5 experiment against panel users. The
+// campaigns run "worldwide" on the paper's schedules; success requires the
+// ad to reach exclusively the target, a logged landing-page click, and a
+// matching "Why am I seeing this ad?" disclosure.
+func (w *World) RunNanotargeting(opts NanotargetingOptions) (*NanotargetingReport, error) {
+	counts := opts.InterestCounts
+	if len(counts) == 0 {
+		counts = []int{5, 7, 9, 12, 18, 20, 22}
+	}
+	maxN := 0
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	indices := opts.TargetIndices
+	if len(indices) == 0 {
+		indices = w.typicalTargets(maxN, 3)
+	}
+	targets := make([]*population.User, 0, len(indices))
+	for _, i := range indices {
+		u, err := w.panelUser(i)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, u)
+	}
+	budget := opts.DailyBudgetCents
+	if budget <= 0 {
+		budget = 7000
+	}
+
+	clock := simclock.NewSim(simclock.PaperSchedule().Start())
+	logger, err := weblog.NewLogger(w.clickSecret(), clock)
+	if err != nil {
+		return nil, err
+	}
+	cfg := experiment.Config{
+		Model:            w.model,
+		Targets:          targets,
+		InterestCounts:   counts,
+		SuccessGroupMin:  12,
+		DailyBudgetCents: budget,
+		Delivery:         campaign.DefaultDeliveryConfig(),
+		Logger:           logger,
+		Rand:             w.root.Derive(fmt.Sprintf("experiment/%d", opts.Seed)),
+	}
+	rep, err := experiment.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &NanotargetingReport{
+		rep:              rep,
+		Successes:        rep.Successes,
+		TotalCostCents:   rep.TotalCostCents,
+		SuccessCostCents: rep.SuccessCostCents,
+	}
+	for _, o := range rep.Outcomes {
+		out.rows = append(out.rows, CampaignRow{
+			User:         o.UserIndex + 1,
+			Interests:    o.N,
+			Seen:         o.Result.Seen,
+			Reached:      o.Result.Reached,
+			Impressions:  o.Result.Impressions,
+			TFI:          o.Result.TFI,
+			CostCents:    o.Result.CostCents,
+			Clicks:       o.Result.Clicks,
+			UniqueIPs:    o.Result.UniqueClickIPs,
+			Nanotargeted: o.Result.Nanotargeted,
+		})
+	}
+	return out, nil
+}
+
+// typicalTargets picks count panel users with profile sizes closest to the
+// panel median (among those with at least minInterests). The paper's
+// targets were the authors — ordinary users, not the panel's extremes; a
+// hyper-active outlier would make even 5-interest combinations unique and
+// distort the Table 2 shape.
+func (w *World) typicalTargets(minInterests, count int) []int {
+	sizes := make([]int, 0, len(w.panel.Users))
+	for _, u := range w.panel.Users {
+		sizes = append(sizes, len(u.Interests))
+	}
+	sort.Ints(sizes)
+	median := sizes[len(sizes)/2]
+
+	type cand struct{ idx, dist int }
+	var cands []cand
+	for i, u := range w.panel.Users {
+		if len(u.Interests) < minInterests {
+			continue
+		}
+		d := len(u.Interests) - median
+		if d < 0 {
+			d = -d
+		}
+		cands = append(cands, cand{idx: i, dist: d})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := make([]int, 0, count)
+	for _, c := range cands {
+		out = append(out, c.idx)
+		if len(out) == count {
+			break
+		}
+	}
+	return out
+}
+
+// clickSecret derives the weblog HMAC key from the world seed — secret
+// w.r.t. the simulated adversary, reproducible for the experimenter.
+func (w *World) clickSecret() []byte {
+	r := w.root.Derive("click-secret")
+	key := make([]byte, 32)
+	for i := 0; i < len(key); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8; j++ {
+			key[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return key
+}
+
+// --- FDVT risk interface (§6) ---
+
+// RiskRow is one row of the FDVT "Risks of my FB interests" view.
+type RiskRow struct {
+	Interest     string
+	AudienceSize int64
+	// Risk is the §6 color: "red", "orange", "yellow" or "green".
+	Risk   string
+	Active bool
+}
+
+// InterestRisk builds the §6 risk report for a panel user, most dangerous
+// interests first.
+func (w *World) InterestRisk(panelIndex int) ([]RiskRow, error) {
+	u, err := w.panelUser(panelIndex)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := fdvt.NewRiskReport(u, w.model.Catalog(), w.model.Population())
+	if err != nil {
+		return nil, err
+	}
+	var out []RiskRow
+	for _, e := range rep.Entries() {
+		out = append(out, RiskRow{
+			Interest:     e.Interest.Name,
+			AudienceSize: e.Audience,
+			Risk:         e.Level.String(),
+			Active:       e.Active,
+		})
+	}
+	return out, nil
+}
+
+// RemoveRiskyInterests removes every interest of the panel user at or above
+// the given severity ("red" removes red only; "orange" red+orange; "yellow"
+// red+orange+yellow). It returns how many interests were removed. The
+// change is applied to the panel user's live profile, so subsequent attacks
+// against them face the hardened profile.
+func (w *World) RemoveRiskyInterests(panelIndex int, level string) (int, error) {
+	u, err := w.panelUser(panelIndex)
+	if err != nil {
+		return 0, err
+	}
+	var lvl fdvt.RiskLevel
+	switch level {
+	case "red":
+		lvl = fdvt.RiskHigh
+	case "orange":
+		lvl = fdvt.RiskMedium
+	case "yellow":
+		lvl = fdvt.RiskLow
+	default:
+		return 0, fmt.Errorf("nanotarget: unknown risk level %q", level)
+	}
+	rep, err := fdvt.NewRiskReport(u, w.model.Catalog(), w.model.Population())
+	if err != nil {
+		return 0, err
+	}
+	return rep.RemoveAllAtOrAbove(lvl), nil
+}
+
+// --- Countermeasures (§8.3) ---
+
+// PolicyOutcome summarizes one countermeasure's protective effect.
+type PolicyOutcome struct {
+	Policy      string
+	Attacks     int
+	Blocked     int
+	Succeeded   int
+	SuccessRate float64
+	BlockRate   float64
+}
+
+// PolicyOptions configures EvaluatePolicies.
+type PolicyOptions struct {
+	// Victims is how many panel users to attack (default 50).
+	Victims int
+	// InterestCount is the attacker's budget (default 20 random interests).
+	InterestCount int
+	// Trials per victim (default 4).
+	Trials int
+	// MaxInterestsLimit for the §8.3 interest-cap policy (default 8).
+	MaxInterestsLimit int
+	// MinAudienceLimits for the §8.3 audience-floor policy
+	// (default 100 and 1000).
+	MinAudienceLimits []int64
+}
+
+// EvaluatePolicies replays nanotargeting attacks under no policy, the
+// interest cap, each audience floor, and the stacked defense.
+func (w *World) EvaluatePolicies(opts PolicyOptions) ([]PolicyOutcome, error) {
+	if opts.Victims <= 0 {
+		opts.Victims = 50
+	}
+	if opts.InterestCount <= 0 {
+		opts.InterestCount = 20
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 4
+	}
+	if opts.MaxInterestsLimit <= 0 {
+		opts.MaxInterestsLimit = 8
+	}
+	if len(opts.MinAudienceLimits) == 0 {
+		opts.MinAudienceLimits = []int64{100, 1000}
+	}
+	var victims []*population.User
+	for _, u := range w.panel.Users {
+		if len(u.Interests) >= opts.InterestCount {
+			victims = append(victims, u)
+			if len(victims) == opts.Victims {
+				break
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("nanotarget: no panel users with >= %d interests", opts.InterestCount)
+	}
+	policies := []countermeasures.Policy{
+		countermeasures.Stack{},
+		countermeasures.MaxInterests{Limit: opts.MaxInterestsLimit},
+	}
+	for _, lim := range opts.MinAudienceLimits {
+		policies = append(policies, countermeasures.MinActiveAudience{Limit: lim})
+	}
+	policies = append(policies, countermeasures.Stack{
+		countermeasures.MaxInterests{Limit: opts.MaxInterestsLimit},
+		countermeasures.MinActiveAudience{Limit: opts.MinAudienceLimits[len(opts.MinAudienceLimits)-1]},
+	})
+	res, err := countermeasures.Evaluate(countermeasures.EvalConfig{
+		Model:         w.model,
+		Victims:       victims,
+		InterestCount: opts.InterestCount,
+		Trials:        opts.Trials,
+		Rand:          w.root.Derive("policies"),
+	}, policies)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PolicyOutcome, 0, len(res))
+	for _, r := range res {
+		out = append(out, PolicyOutcome{
+			Policy:      r.Policy,
+			Attacks:     r.Attacks,
+			Blocked:     r.Blocked,
+			Succeeded:   r.SucceededAnyway,
+			SuccessRate: r.SuccessRate(),
+			BlockRate:   r.BlockRate(),
+		})
+	}
+	return out, nil
+}

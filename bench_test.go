@@ -1,0 +1,412 @@
+package nanotarget
+
+// Benchmark harness: one benchmark per table and figure of the paper (see
+// DESIGN.md §4 for the experiment index), plus ablation benches for the
+// design choices DESIGN.md §6 calls out. All benches share one mid-scale
+// world fixture (b.N iterations re-run the analysis, not world
+// construction) so `go test -bench=.` finishes in minutes while exercising
+// the same code paths as the full-scale cmd tools.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"nanotarget/internal/core"
+	"nanotarget/internal/countermeasures"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/stats"
+)
+
+var (
+	benchOnce  sync.Once
+	benchWorld *World
+)
+
+func getBenchWorld(b *testing.B) *World {
+	b.Helper()
+	benchOnce.Do(func() {
+		w, err := NewWorld(
+			WithSeed(1),
+			WithCatalogSize(20000),
+			WithPanelSize(600),
+			WithProfileMedian(200),
+			WithActivityGrid(256),
+		)
+		if err != nil {
+			panic(err)
+		}
+		benchWorld = w
+	})
+	return benchWorld
+}
+
+// BenchmarkFigure1 regenerates the interests-per-user CDF (§3, Fig 1).
+func BenchmarkFigure1(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sizes := make([]float64, 0, w.PanelSize())
+		for _, u := range w.PanelUsers() {
+			sizes = append(sizes, float64(len(u.Interests)))
+		}
+		ecdf, err := stats.NewECDF(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ecdf.InverseAt(0.5) <= 0 {
+			b.Fatal("degenerate CDF")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the interest audience-size CDF (§3, Fig 2).
+func BenchmarkFigure2(b *testing.B) {
+	w := getBenchWorld(b)
+	cat := w.Model().Catalog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sizes := make([]float64, cat.Len())
+		for id := 0; id < cat.Len(); id++ {
+			sizes[id] = float64(cat.AudienceSize(interest.ID(id), w.Population()))
+		}
+		qs, err := stats.Quantiles(sizes, []float64{0.25, 0.5, 0.75})
+		if err != nil || qs[1] <= 0 {
+			b.Fatal("bad quantiles")
+		}
+	}
+}
+
+// benchVAS collects samples and fits VAS curves for one selector — the
+// machinery behind Figures 3, 4 and 5.
+func benchVAS(b *testing.B, sel core.Selector, qs []float64) {
+	w := getBenchWorld(b)
+	src := core.NewModelSource(w.Model())
+	users := w.PanelUsers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err := core.Collect(users, sel, src, core.CollectConfig{Seed: rng.New(uint64(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range qs {
+			if _, err := core.FitVAS(samples.VAS(q), samples.FloorValue); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the model illustration (VAS(50), VAS(90) for
+// random selection with fits).
+func BenchmarkFigure3(b *testing.B) { benchVAS(b, core.Random{}, []float64{0.5, 0.9}) }
+
+// BenchmarkFigure4 regenerates the least-popular VAS curves and fits.
+func BenchmarkFigure4(b *testing.B) {
+	benchVAS(b, core.LeastPopular{}, []float64{0.5, 0.8, 0.9, 0.95})
+}
+
+// BenchmarkFigure5 regenerates the random-selection VAS curves and fits.
+func BenchmarkFigure5(b *testing.B) {
+	benchVAS(b, core.Random{}, []float64{0.5, 0.8, 0.9, 0.95})
+}
+
+// BenchmarkTable1 regenerates the N_P table (both strategies, four Ps,
+// bootstrap CIs).
+func BenchmarkTable1(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study, err := w.EstimateUniqueness(UniquenessOptions{BootstrapIters: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(study.Estimates()) != 8 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the 21-campaign nanotargeting experiment.
+func BenchmarkTable2(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := w.RunNanotargeting(NanotargetingOptions{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows()) != 21 {
+			b.Fatal("incomplete experiment")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the gender analysis (N_0.9 by gender).
+func BenchmarkFigure8(b *testing.B) { benchGroups(b, ByGender) }
+
+// BenchmarkFigure9 regenerates the age-group analysis.
+func BenchmarkFigure9(b *testing.B) { benchGroups(b, ByAge) }
+
+// BenchmarkFigure10 regenerates the country analysis.
+func BenchmarkFigure10(b *testing.B) { benchGroups(b, ByCountry) }
+
+func benchGroups(b *testing.B, g Grouping) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.GroupUniqueness(g, 0.9, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkCountermeasures regenerates the §8.3 policy evaluation.
+func BenchmarkCountermeasures(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := w.EvaluatePolicies(PolicyOptions{Victims: 30, Trials: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("no outcomes")
+		}
+	}
+}
+
+// BenchmarkFDVTRisk regenerates the §6 risk report (Fig 7's data).
+func BenchmarkFDVTRisk(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := w.InterestRisk(i % w.PanelSize())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rows
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationFloor measures the estimator under the three platform
+// reach floors the paper discusses (20 in 2017, 100 with the workaround,
+// 1000 today) — supporting the §4.1 claim that the method still applies at
+// higher floors.
+func BenchmarkAblationFloor(b *testing.B) {
+	for _, floor := range []int64{20, 100, 1000} {
+		b.Run(floorName(floor), func(b *testing.B) {
+			w := getBenchWorld(b)
+			src := core.NewModelSource(w.Model())
+			src.MinReach = floor
+			users := w.PanelUsers()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				samples, err := core.Collect(users, core.Random{}, src,
+					core.CollectConfig{Seed: rng.New(uint64(i))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.FitVAS(samples.VAS(0.9), samples.FloorValue); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func floorName(f int64) string {
+	switch f {
+	case 20:
+		return "floor-20-era2017"
+	case 100:
+		return "floor-100-workaround"
+	default:
+		return "floor-1000-era2020"
+	}
+}
+
+// BenchmarkAblationQuadrature measures audience-query cost vs quadrature
+// grid resolution (accuracy/latency trade-off of the analytic audience
+// counter).
+func BenchmarkAblationQuadrature(b *testing.B) {
+	icfg := interest.DefaultConfig()
+	icfg.Size = 5000
+	cat, err := interest.Generate(icfg, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, grid := range []int{128, 512, 2048} {
+		b.Run(gridName(grid), func(b *testing.B) {
+			pcfg := population.DefaultConfig(cat)
+			pcfg.ActivityGridSize = grid
+			m, err := population.NewModel(pcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]interest.ID, 25)
+			for i := range ids {
+				ids[i] = interest.ID(i * 199)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if m.ConjunctionShare(ids) < 0 {
+					b.Fatal("negative share")
+				}
+			}
+		})
+	}
+}
+
+func gridName(g int) string {
+	switch g {
+	case 128:
+		return "grid-128"
+	case 512:
+		return "grid-512"
+	default:
+		return "grid-2048"
+	}
+}
+
+// BenchmarkAblationSelector compares the three selection strategies'
+// collection cost (LP sorts per profile; MP is the sanity baseline).
+func BenchmarkAblationSelector(b *testing.B) {
+	selectors := []core.Selector{core.LeastPopular{}, core.Random{}, core.MostPopular{}}
+	for _, sel := range selectors {
+		b.Run("selector-"+sel.Name(), func(b *testing.B) {
+			w := getBenchWorld(b)
+			src := core.NewModelSource(w.Model())
+			users := w.PanelUsers()[:200]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Collect(users, sel, src,
+					core.CollectConfig{Seed: rng.New(uint64(i))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBootstrap measures CI cost scaling in resample count
+// (the paper used 10,000; how much does CI stability cost?).
+func BenchmarkAblationBootstrap(b *testing.B) {
+	w := getBenchWorld(b)
+	src := core.NewModelSource(w.Model())
+	samples, err := core.Collect(w.PanelUsers(), core.Random{}, src,
+		core.CollectConfig{Seed: rng.New(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, iters := range []int{100, 1000, 10000} {
+		b.Run(bootName(iters), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.EstimateNP(samples, 0.9, core.EstimateConfig{
+					BootstrapIters: iters,
+					CILevel:        0.95,
+					Rand:           rng.New(uint64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func bootName(n int) string {
+	switch n {
+	case 100:
+		return "boot-100"
+	case 1000:
+		return "boot-1k"
+	default:
+		return "boot-10k"
+	}
+}
+
+// BenchmarkAblationPolicySweep measures the §8.3 interest-cap sweep the
+// countermeasures command exposes.
+func BenchmarkAblationPolicySweep(b *testing.B) {
+	w := getBenchWorld(b)
+	victims := w.PanelUsers()[:20]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, limit := range []int{5, 9, 15, 25} {
+			_, err := countermeasures.Evaluate(countermeasures.EvalConfig{
+				Model:         w.Model(),
+				Victims:       victims,
+				InterestCount: 25,
+				Trials:        1,
+				Rand:          rng.New(uint64(i)),
+			}, []countermeasures.Policy{countermeasures.MaxInterests{Limit: limit}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionDemographics measures the §9 future-work study
+// (demographics + interests uniqueness).
+func BenchmarkExtensionDemographics(b *testing.B) {
+	w := getBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boost, err := w.EstimateDemographicBoost(DemographicKnowledgeOptions{
+			Country:        true,
+			Gender:         true,
+			AgeYears:       true,
+			AgeSlack:       1,
+			BootstrapIters: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if boost.Saved <= 0 {
+			b.Fatal("demographics saved nothing")
+		}
+	}
+}
+
+// BenchmarkWorldConstruction measures full world calibration (catalog,
+// rates, panel) at bench scale.
+func BenchmarkWorldConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := NewWorld(
+			WithSeed(uint64(i)),
+			WithCatalogSize(10000),
+			WithPanelSize(200),
+			WithProfileMedian(150),
+			WithActivityGrid(192),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = w
+	}
+}
+
+// BenchmarkTable2Render measures Table 2 text rendering.
+func BenchmarkTable2Render(b *testing.B) {
+	w := getBenchWorld(b)
+	rep, err := w.RunNanotargeting(NanotargetingOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.WriteTable2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command fbadsd serves the simulated Facebook Marketing API over HTTP: the
+// substrate the paper queried for every audience size (§2.1). Point the
+// adsapi client (or curl) at it:
+//
+//	fbadsd -addr :8080 -era 2017 -token secret &
+//	curl 'http://localhost:8080/v9.0/act_1/reachestimate?access_token=secret&targeting_spec={"geo_locations":{"countries":["ES"]}}'
+//
+// Eras select platform rules: 2017 (reach floor 20, no worldwide), 2020
+// (floor 1000, worldwide allowed) or workaround (floor 100, per [18]).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"nanotarget/internal/adsapi"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("fbadsd: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		catalogSize = flag.Int("catalog", 98_982, "interest catalog size")
+		pop         = flag.Int64("population", 1_500_000_000, "modeled user base")
+		era         = flag.String("era", "2017", "platform era: 2017, 2020 or workaround")
+		tokens      = flag.String("tokens", "", "comma-separated access tokens (empty = no auth)")
+		rate        = flag.Float64("rate", 0, "per-token rate limit in requests/second (0 = unlimited)")
+		seed        = flag.Uint64("seed", 1, "world seed")
+	)
+	flag.Parse()
+
+	var eraCfg adsapi.Era
+	switch *era {
+	case "2017":
+		eraCfg = adsapi.Era2017
+	case "2020":
+		eraCfg = adsapi.Era2020
+	case "workaround":
+		eraCfg = adsapi.EraWorkaround
+	default:
+		log.Fatalf("unknown era %q", *era)
+	}
+
+	start := time.Now()
+	icfg := interest.DefaultConfig()
+	icfg.Size = *catalogSize
+	icfg.Population = *pop
+	cat, err := interest.Generate(icfg, rng.New(*seed).Derive("catalog"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.Population = *pop
+	model, err := population.NewModel(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tokenList []string
+	if *tokens != "" {
+		tokenList = strings.Split(*tokens, ",")
+	}
+	srv, err := adsapi.NewServer(adsapi.ServerConfig{
+		Model:     model,
+		Era:       eraCfg,
+		Tokens:    tokenList,
+		RateLimit: *rate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("world ready in %v: %d interests, %d users, era %s, floor %d",
+		time.Since(start).Round(time.Millisecond), cat.Len(), *pop, eraCfg.Name, eraCfg.MinReach)
+	log.Printf("listening on %s", *addr)
+	fmt.Printf("try: curl '%s/v9.0/act_1/reachestimate?targeting_spec=%s'\n",
+		"http://localhost"+*addr, `{"geo_locations":{"countries":["ES"]}}`)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

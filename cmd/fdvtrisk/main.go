@@ -1,0 +1,84 @@
+// Command fdvtrisk demonstrates the §6 FDVT defense: the "Risks of my FB
+// interests" view (Fig 7) for a panel user — interests sorted by audience
+// size with the red/orange/yellow/green color code — and the effect of
+// one-click removal on the user's exposure to nanotargeting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nanotarget"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdvtrisk: ")
+	var (
+		catalogSize = flag.Int("catalog", 30_000, "interest catalog size")
+		panelSize   = flag.Int("panel", 200, "panel size")
+		user        = flag.Int("user", 0, "panel index of the inspected user")
+		level       = flag.String("remove", "orange", "severity to remove: red, orange or yellow (empty = only show)")
+		seed        = flag.Uint64("seed", 1, "world seed")
+		show        = flag.Int("show", 15, "rows of the risk table to display")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	w, err := nanotarget.NewWorld(
+		nanotarget.WithSeed(*seed),
+		nanotarget.WithCatalogSize(*catalogSize),
+		nanotarget.WithPanelSize(*panelSize),
+		nanotarget.WithProfileMedian(200),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world built in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	rows, err := w.InterestRisk(*user)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.Risk]++
+	}
+	fmt.Printf("Risks of my FB interests — panel user %d (%d interests)\n", *user, len(rows))
+	fmt.Printf("red: %d  orange: %d  yellow: %d  green: %d\n\n",
+		counts["red"], counts["orange"], counts["yellow"], counts["green"])
+	fmt.Printf("%-8s %-45s %14s\n", "RISK", "INTEREST", "AUDIENCE")
+	for i, r := range rows {
+		if i >= *show {
+			fmt.Printf("... %d more\n", len(rows)-*show)
+			break
+		}
+		fmt.Printf("%-8s %-45s %14d\n", r.Risk, clip(r.Interest, 45), r.AudienceSize)
+	}
+
+	if *level == "" {
+		return
+	}
+	removed, err := w.RemoveRiskyInterests(*user, *level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := w.InterestRisk(*user)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremoved %d interests at severity >= %s; %d remain\n", removed, *level, len(after))
+	if len(after) > 0 {
+		fmt.Printf("least popular remaining interest now has audience %d (was %d)\n",
+			after[0].AudienceSize, rows[0].AudienceSize)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

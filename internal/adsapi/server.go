@@ -1,0 +1,433 @@
+package adsapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nanotarget/internal/population"
+)
+
+// ServerConfig configures the simulated Marketing API server.
+type ServerConfig struct {
+	// Model backs reach computations. Required.
+	Model *population.Model
+	// Era selects platform rules (default Era2017).
+	Era Era
+	// Tokens is the set of valid access tokens. Empty disables auth
+	// (useful in tests).
+	Tokens []string
+	// RateLimit is the sustained requests/second allowed per token
+	// (token bucket). Zero disables rate limiting.
+	RateLimit float64
+	// RateBurst is the bucket capacity (default 2×RateLimit, minimum 1).
+	RateBurst float64
+	// RoundReach enables FB-style display rounding of reach estimates to
+	// two significant digits above 1000. The paper's 2017 dataset shows
+	// precise values, so this defaults to off.
+	RoundReach bool
+	// NarrowWarningThreshold triggers the "audience too narrow" creation
+	// warning when estimated reach is at the floor (§8.2). Zero uses the
+	// era's MinReach.
+	NarrowWarningThreshold int64
+	// Now supplies time for rate limiting; defaults to time.Now.
+	Now func() time.Time
+}
+
+// Server implements the API over net/http.
+type Server struct {
+	cfg    ServerConfig
+	era    Era
+	tokens map[string]bool
+	now    func() time.Time
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	campaigns map[string]*Campaign
+	insights  map[string]Insights
+	nextID    int64
+	disabled  bool
+
+	mux *http.ServeMux
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewServer validates the config and builds the handler.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("adsapi: ServerConfig.Model is required")
+	}
+	if cfg.Era.Name == "" {
+		cfg.Era = Era2017
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.RateLimit > 0 && cfg.RateBurst <= 0 {
+		cfg.RateBurst = 2 * cfg.RateLimit
+		if cfg.RateBurst < 1 {
+			cfg.RateBurst = 1
+		}
+	}
+	s := &Server{
+		cfg:       cfg,
+		era:       cfg.Era,
+		tokens:    make(map[string]bool, len(cfg.Tokens)),
+		now:       cfg.Now,
+		buckets:   make(map[string]*bucket),
+		campaigns: make(map[string]*Campaign),
+		insights:  make(map[string]Insights),
+		nextID:    1000,
+	}
+	for _, t := range cfg.Tokens {
+		s.tokens[t] = true
+	}
+	mux := http.NewServeMux()
+	prefix := "/" + APIVersion
+	mux.HandleFunc(prefix+"/{account}/reachestimate", s.withAuth(s.requireAccount(s.handleReachEstimate)))
+	mux.HandleFunc(prefix+"/{account}/campaigns", s.withAuth(s.requireAccount(s.handleCampaigns)))
+	mux.HandleFunc(prefix+"/search", s.withAuth(s.handleSearch))
+	mux.HandleFunc(prefix+"/{id}/insights", s.withAuth(s.handleInsights))
+	s.mux = mux
+	return s, nil
+}
+
+// withAuth wraps a handler with token auth, account state and rate limiting.
+func (s *Server) withAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorize(w, r) {
+			return
+		}
+		h(w, r)
+	}
+}
+
+// requireAccount checks the {account} path segment has the act_<id> shape.
+func (s *Server) requireAccount(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.PathValue("account"), "act_") {
+			s.writeError(w, http.StatusNotFound, &APIError{
+				Code: CodeInvalidParam, Type: "GraphMethodException",
+				Message: "Unknown node"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Era returns the platform rules in force.
+func (s *Server) Era() Era { return s.era }
+
+// DisableAccount makes every subsequent authorized call fail with FB error
+// 368 — reproducing the account closure the authors experienced days after
+// the experiment (§8.2).
+func (s *Server) DisableAccount() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disabled = true
+}
+
+// SetInsights attaches dashboard metrics for a campaign (the delivery engine
+// reports its results through this).
+func (s *Server) SetInsights(campaignID string, in Insights) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.campaigns[campaignID]; !ok {
+		return fmt.Errorf("adsapi: unknown campaign %q", campaignID)
+	}
+	in.CampaignID = campaignID
+	if in.Impressions > 0 {
+		in.CPMCents = float64(in.SpendCents) / float64(in.Impressions) * 1000
+	}
+	s.insights[campaignID] = in
+	return nil
+}
+
+// Campaigns returns a snapshot of stored campaigns (test/diagnostic use).
+func (s *Server) Campaigns() []Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, *c)
+	}
+	return out
+}
+
+// --- request plumbing ---
+
+func (s *Server) writeError(w http.ResponseWriter, status int, apiErr *APIError) {
+	if apiErr.FBTraceID == "" {
+		apiErr.FBTraceID = "sim"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(marshalJSON(errorEnvelope{Error: apiErr}))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(marshalJSON(v))
+}
+
+// authorize validates the token and charges the rate limiter. It returns
+// false after writing an error response.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	token := r.URL.Query().Get("access_token")
+	if len(s.tokens) > 0 && !s.tokens[token] {
+		s.writeError(w, http.StatusUnauthorized, &APIError{
+			Code: CodeAuth, Type: "OAuthException",
+			Message: "Invalid OAuth access token"})
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		s.writeError(w, http.StatusForbidden, &APIError{
+			Code: CodeAccountDisabled, Type: "OAuthException",
+			Message: "The account has been disabled"})
+		return false
+	}
+	if s.cfg.RateLimit > 0 {
+		b, ok := s.buckets[token]
+		now := s.now()
+		if !ok {
+			b = &bucket{tokens: s.cfg.RateBurst, last: now}
+			s.buckets[token] = b
+		}
+		b.tokens += now.Sub(b.last).Seconds() * s.cfg.RateLimit
+		if b.tokens > s.cfg.RateBurst {
+			b.tokens = s.cfg.RateBurst
+		}
+		b.last = now
+		if b.tokens < 1 {
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeRateLimit, Type: "OAuthException",
+				Message: "User request limit reached"})
+			return false
+		}
+		b.tokens--
+	}
+	return true
+}
+
+func (s *Server) parseSpec(w http.ResponseWriter, raw string) (TargetingSpec, bool) {
+	var spec TargetingSpec
+	if raw == "" {
+		s.writeError(w, http.StatusBadRequest, &APIError{
+			Code: CodeInvalidParam, Type: "OAuthException",
+			Message: "Missing targeting_spec"})
+		return spec, false
+	}
+	if err := unmarshalStrict(raw, &spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, &APIError{
+			Code: CodeInvalidParam, Type: "OAuthException",
+			Message: "Malformed targeting_spec: " + err.Error()})
+		return spec, false
+	}
+	if err := spec.Validate(s.era, s.cfg.Model.Catalog()); err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) {
+			s.writeError(w, http.StatusBadRequest, ae)
+		} else {
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
+		}
+		return spec, false
+	}
+	return spec, true
+}
+
+// estimateReach computes the floored (and optionally rounded) Potential
+// Reach for a validated spec. Estimates are conditional on the audience
+// containing at least one real member — matching the platform's behaviour of
+// counting actual users, since every combination the paper queries comes
+// from a real profile (§4.1).
+func (s *Server) estimateReach(spec TargetingSpec) (int64, error) {
+	clauses, err := spec.Clauses()
+	if err != nil {
+		return 0, err
+	}
+	m := s.cfg.Model
+	filter := spec.DemoFilter()
+	base := float64(m.Population())*m.DemoShare(filter) - 1
+	if base < 0 {
+		base = 0
+	}
+	share := m.UnionConjunctionShare(clauses)
+	reach := int64(1 + base*share + 0.5)
+	if reach < s.era.MinReach {
+		reach = s.era.MinReach
+	}
+	if s.cfg.RoundReach {
+		reach = roundSignificant(reach, 2)
+	}
+	return reach, nil
+}
+
+func (s *Server) handleReachEstimate(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.parseSpec(w, r.URL.Query().Get("targeting_spec"))
+	if !ok {
+		return
+	}
+	reach, err := s.estimateReach(spec)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, &APIError{
+			Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
+		return
+	}
+	s.writeJSON(w, reachResponse{Data: ReachEstimate{Users: reach, EstimateReady: true}})
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeInvalidParam, Type: "OAuthException", Message: "bad form"})
+			return
+		}
+		var params CampaignParams
+		raw := r.PostFormValue("params")
+		if raw == "" {
+			raw = r.URL.Query().Get("params")
+		}
+		if err := unmarshalStrict(raw, &params); err != nil {
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeInvalidParam, Type: "OAuthException",
+				Message: "Malformed params: " + err.Error()})
+			return
+		}
+		if err := params.Targeting.Validate(s.era, s.cfg.Model.Catalog()); err != nil {
+			var ae *APIError
+			if errors.As(err, &ae) {
+				s.writeError(w, http.StatusBadRequest, ae)
+				return
+			}
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
+			return
+		}
+		reach, err := s.estimateReach(params.Targeting)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
+			return
+		}
+		threshold := s.cfg.NarrowWarningThreshold
+		if threshold == 0 {
+			threshold = s.era.MinReach
+		}
+		s.mu.Lock()
+		s.nextID++
+		c := &Campaign{
+			ID:                    fmt.Sprintf("238%09d", s.nextID),
+			Params:                params,
+			EstimatedReach:        reach,
+			NarrowAudienceWarning: reach <= threshold,
+		}
+		s.campaigns[c.ID] = c
+		s.mu.Unlock()
+		s.writeJSON(w, c)
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]Campaign, 0, len(s.campaigns))
+		for _, c := range s.campaigns {
+			out = append(out, *c)
+		}
+		s.mu.Unlock()
+		s.writeJSON(w, struct {
+			Data []Campaign `json:"data"`
+		}{Data: out})
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, &APIError{
+			Code: CodeInvalidParam, Type: "GraphMethodException",
+			Message: "Unsupported method"})
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("type") != "adinterest" {
+		s.writeError(w, http.StatusBadRequest, &APIError{
+			Code: CodeInvalidParam, Type: "OAuthException",
+			Message: "Unsupported search type"})
+		return
+	}
+	limit := 25
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			s.writeError(w, http.StatusBadRequest, &APIError{
+				Code: CodeInvalidParam, Type: "OAuthException",
+				Message: "Invalid limit"})
+			return
+		}
+		limit = v
+	}
+	cat := s.cfg.Model.Catalog()
+	var results []SearchResult
+	for _, in := range cat.Search(q.Get("q"), limit) {
+		results = append(results, SearchResult{
+			ID:           FBInterestID(in.ID),
+			Name:         in.Name,
+			AudienceSize: cat.AudienceSize(in.ID, s.cfg.Model.Population()),
+			Path:         []string{"Interests", in.Category, in.Name},
+			Topic:        in.Category,
+		})
+	}
+	s.writeJSON(w, searchResponse{Data: results})
+}
+
+// handleInsights serves /v9.0/<campaign id>/insights.
+func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	in, ok := s.insights[id]
+	_, known := s.campaigns[id]
+	s.mu.Unlock()
+	if !known {
+		s.writeError(w, http.StatusNotFound, &APIError{
+			Code: CodeInvalidParam, Type: "GraphMethodException",
+			Message: fmt.Sprintf("Unknown campaign %q", id)})
+		return
+	}
+	if !ok {
+		in = Insights{CampaignID: id, Currency: "EUR"}
+	}
+	s.writeJSON(w, in)
+}
+
+// roundSignificant rounds v to the given number of significant decimal
+// digits when v >= 1000 (FB-style display rounding).
+func roundSignificant(v int64, digits int) int64 {
+	if v < 1000 {
+		return v
+	}
+	mag := int64(1)
+	x := v
+	for x >= pow10(digits) {
+		x /= 10
+		mag *= 10
+	}
+	return ((v + mag/2) / mag) * mag
+}
+
+func pow10(n int) int64 {
+	out := int64(1)
+	for i := 0; i < n; i++ {
+		out *= 10
+	}
+	return out
+}

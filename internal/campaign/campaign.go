@@ -1,0 +1,180 @@
+// Package campaign implements the ad-campaign delivery simulator behind the
+// paper's nanotargeting experiment (§5): campaign specs with schedules,
+// budgets and creatives; a delivery engine that realizes a concrete audience
+// and simulates impressions, reach, clicks, cost and time-to-first-
+// impression over the campaign's active windows; and the "Why am I seeing
+// this ad?" disclosure used to validate success.
+//
+// # Delivery model
+//
+// The targeted audience is realized as 1 + Binomial(Pop−1, p) users (the
+// target is in the audience by construction: the interests came from their
+// own profile). Each audience member generates impression opportunities as
+// a Poisson process while the campaign is active. Delivery is the minimum
+// of two regimes:
+//
+//   - opportunity-limited (narrow audiences): every member can be served to
+//     saturation; tiny audiences produce a handful of impressions and
+//     near-zero cost — the paper's successful nanotargeting campaigns cost
+//     0–6 euro cents;
+//   - budget-limited (broad audiences): the pacer spends the allocated
+//     budget at the market CPM and only a slice of the audience is reached.
+//
+// The CPM curve is dome-shaped in audience size, matching the costs in
+// Table 2: narrow-but-not-nano audiences (~100–1000 users) are the most
+// expensive per impression, broad worldwide audiences the cheapest.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/simclock"
+)
+
+// Creative is one ad creative. The experiment used a distinct creative per
+// campaign, identifying the targeted user and interest count, each linked to
+// its own landing page (§5.1, Fig 6).
+type Creative struct {
+	// ID doubles as the landing-path key (e.g. "user3-n12").
+	ID string
+	// Title and Body are the visible ad copy.
+	Title, Body string
+}
+
+// Spec defines one ad campaign.
+type Spec struct {
+	// Name labels the campaign in dashboards.
+	Name string
+	// Interests is the targeting conjunction (max 25, as on FB).
+	Interests []interest.ID
+	// Filter holds the non-interest targeting (the experiment used
+	// worldwide targeting: an empty filter).
+	Filter population.DemoFilter
+	// DailyBudgetCents is the promised daily budget (paper: 7000 = 70 €).
+	DailyBudgetCents int64
+	// Schedule is the set of active windows.
+	Schedule *simclock.Schedule
+	// Creative is the ad shown.
+	Creative Creative
+}
+
+// Validate checks the spec is runnable.
+func (s Spec) Validate() error {
+	if len(s.Interests) == 0 {
+		return errors.New("campaign: at least one interest is required")
+	}
+	if len(s.Interests) > 25 {
+		return fmt.Errorf("campaign: %d interests exceed the platform limit of 25", len(s.Interests))
+	}
+	if s.DailyBudgetCents <= 0 {
+		return errors.New("campaign: positive daily budget required")
+	}
+	if s.Schedule == nil {
+		return errors.New("campaign: schedule is required")
+	}
+	if s.Creative.ID == "" {
+		return errors.New("campaign: creative ID is required")
+	}
+	return nil
+}
+
+// Disclosure is the "Why am I seeing this ad?" payload Facebook shows a user
+// who received the ad (§5.1 validation condition 3, Appendix D): the exact
+// targeting parameters of the campaign.
+type Disclosure struct {
+	CampaignName string
+	// InterestNames lists the targeted interests by display name.
+	InterestNames []string
+	// Worldwide reports whether the campaign had no geographic filter.
+	Worldwide bool
+	// Countries lists geographic targeting when not worldwide.
+	Countries []string
+}
+
+// WhyAmISeeingThis builds the disclosure for a spec.
+func WhyAmISeeingThis(s Spec, cat *interest.Catalog) (Disclosure, error) {
+	d := Disclosure{
+		CampaignName: s.Name,
+		Worldwide:    len(s.Filter.Countries) == 0,
+		Countries:    append([]string(nil), s.Filter.Countries...),
+	}
+	for _, id := range s.Interests {
+		in, err := cat.Get(id)
+		if err != nil {
+			return Disclosure{}, fmt.Errorf("campaign: disclosure: %w", err)
+		}
+		d.InterestNames = append(d.InterestNames, in.Name)
+	}
+	return d, nil
+}
+
+// MatchesSpec verifies the disclosure lists exactly the spec's interests —
+// the paper's check that "the parameters included in the 'Why am I seeing
+// this ad?' matched exactly the configured audience".
+func (d Disclosure) MatchesSpec(s Spec, cat *interest.Catalog) bool {
+	if len(d.InterestNames) != len(s.Interests) {
+		return false
+	}
+	want := map[string]bool{}
+	for _, id := range s.Interests {
+		in, err := cat.Get(id)
+		if err != nil {
+			return false
+		}
+		want[in.Name] = true
+	}
+	for _, name := range d.InterestNames {
+		if !want[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is one campaign's outcome — one row of Table 2.
+type Result struct {
+	// CreativeID identifies the campaign.
+	CreativeID string
+	// NumInterests is the size of the targeting conjunction.
+	NumInterests int
+	// AudienceSize is the realized number of users matching the targeting
+	// (including the target). Not visible on the real dashboard; exposed
+	// for analysis.
+	AudienceSize int64
+	// Seen reports whether the targeted user received the ad at least once.
+	Seen bool
+	// Reached is the dashboard's unique-users-reached count.
+	Reached int64
+	// Impressions is the dashboard's total delivered impressions.
+	Impressions int64
+	// TargetImpressions is how many of those went to the target.
+	TargetImpressions int64
+	// TFI is the time to the first impression on the target, counting only
+	// active campaign time (§5.2); zero/undefined when !Seen.
+	TFI time.Duration
+	// CostCents is the billed amount in euro cents (0 = the "Free" rows of
+	// Table 2).
+	CostCents int64
+	// Clicks is the total ad clicks; UniqueClickIPs the distinct
+	// pseudonymized devices that generated them.
+	Clicks         int
+	UniqueClickIPs int
+	// DisclosureOK reports the "Why am I seeing this ad?" check passed.
+	DisclosureOK bool
+	// Nanotargeted is the paper's success criterion: the ad was delivered
+	// EXCLUSIVELY to the targeted user (reached == 1), with the click log
+	// and disclosure validations passing.
+	Nanotargeted bool
+}
+
+// Succeeded applies the paper's three success conditions (§5.1):
+// (i) the dashboard reports exactly one user reached, (ii) the target's
+// click appears in the web-server log, (iii) the disclosure matches the
+// configured audience.
+func (r Result) Succeeded() bool {
+	return r.Reached == 1 && r.Seen && r.Clicks > 0 && r.DisclosureOK
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// KnowledgeFn maps a victim to the demographic targeting an attacker can set
+// up from what they know about them (country, gender, age band, ...). It is
+// the §9 future-work scenario: "the combination of socio-demographic
+// parameters with interests may imply that the number of non-PII items
+// required ... is lower than what we have reported".
+type KnowledgeFn func(u *population.User) population.DemoFilter
+
+// DemographicKnowledge builds a KnowledgeFn from which attributes the
+// attacker knows. Unknown or undisclosed attributes contribute no filter.
+type DemographicKnowledge struct {
+	// Country narrows to the victim's country of residence.
+	Country bool
+	// Gender narrows to the victim's declared gender.
+	Gender bool
+	// AgeYears narrows to ±AgeSlack years around the victim's age;
+	// negative means age is not used.
+	AgeYears bool
+	// AgeSlack widens the age filter (0 = exact year, as FB allows).
+	AgeSlack int
+}
+
+// Fn returns the filter builder.
+func (k DemographicKnowledge) Fn() KnowledgeFn {
+	return func(u *population.User) population.DemoFilter {
+		var f population.DemoFilter
+		if k.Country && u.Country != "" {
+			f.Countries = []string{u.Country}
+		}
+		if k.Gender && u.Gender != population.GenderUndisclosed {
+			f.Genders = []population.Gender{u.Gender}
+		}
+		if k.AgeYears && u.Age > 0 {
+			f.AgeMin = u.Age - k.AgeSlack
+			f.AgeMax = u.Age + k.AgeSlack
+			if f.AgeMin < 13 {
+				f.AgeMin = 13
+			}
+		}
+		return f
+	}
+}
+
+// CollectWithDemographics runs the §4 collection with per-victim demographic
+// narrowing: the audience of every prefix is evaluated inside the
+// demographic slice the attacker can target. The audience oracle is
+// model-backed (the per-user filter cannot be expressed through the generic
+// AudienceSource interface).
+func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSource, know KnowledgeFn, cfg CollectConfig) (*Samples, error) {
+	if len(users) == 0 {
+		return nil, errors.New("core: no panel users")
+	}
+	if sel == nil || ms == nil || ms.Model == nil {
+		return nil, errors.New("core: selector and model source are required")
+	}
+	if know == nil {
+		know = func(*population.User) population.DemoFilter { return population.DemoFilter{} }
+	}
+	maxN := cfg.MaxN
+	if maxN <= 0 || maxN > MaxCombinationInterests {
+		maxN = MaxCombinationInterests
+	}
+	seed := cfg.Seed
+	if seed == nil {
+		return nil, errors.New("core: CollectConfig.Seed is required")
+	}
+	m := ms.Model
+	s := &Samples{
+		AS:         make([][]float64, len(users)),
+		MaxN:       maxN,
+		FloorValue: float64(ms.Floor()),
+		Strategy:   sel.Name() + "+demo",
+	}
+	for ui, u := range users {
+		ids := sel.Select(u, m.Catalog(), maxN, selectorRand(seed, sel, u))
+		row := make([]float64, maxN)
+		for i := range row {
+			row[i] = math.NaN()
+		}
+		filter := know(u)
+		base := float64(m.Population())*m.DemoShare(filter) - 1
+		if base < 0 {
+			base = 0
+		}
+		q := m.NewQuery()
+		for i, id := range ids {
+			q.And(id)
+			reach := int64(math.Round(1 + base*q.Share()))
+			if reach < ms.Floor() {
+				reach = ms.Floor()
+			}
+			row[i] = float64(reach)
+		}
+		s.AS[ui] = row
+	}
+	return s, nil
+}
+
+// DemographicStudy compares interest-only uniqueness against
+// demographics-augmented uniqueness at one probability, quantifying the §9
+// conjecture.
+type DemographicStudy struct {
+	P float64
+	// InterestOnly is N_P from interests alone (the paper's Table 1 cell).
+	InterestOnly Estimate
+	// WithDemographics is N_P when the attacker also targets the victim's
+	// known demographics.
+	WithDemographics Estimate
+}
+
+// Saved returns how many fewer interests the demographic knowledge buys.
+func (d DemographicStudy) Saved() float64 {
+	return d.InterestOnly.NP - d.WithDemographics.NP
+}
+
+// RunDemographicStudy estimates both variants with a shared selection seed
+// so the comparison isolates the demographic narrowing.
+func RunDemographicStudy(users []*population.User, ms *ModelSource, know KnowledgeFn, p float64, boot int, seed *rng.Rand) (DemographicStudy, error) {
+	if seed == nil {
+		return DemographicStudy{}, errors.New("core: seed is required")
+	}
+	baseSamples, err := Collect(users, Random{}, ms, CollectConfig{Seed: seed.Derive("plain")})
+	if err != nil {
+		return DemographicStudy{}, fmt.Errorf("core: interest-only collection: %w", err)
+	}
+	baseEst, err := EstimateNP(baseSamples, p, EstimateConfig{
+		BootstrapIters: boot, CILevel: 0.95, Rand: seed.Derive("plain-boot"),
+	})
+	if err != nil {
+		return DemographicStudy{}, err
+	}
+	demoSamples, err := CollectWithDemographics(users, Random{}, ms, know, CollectConfig{Seed: seed.Derive("plain")})
+	if err != nil {
+		return DemographicStudy{}, fmt.Errorf("core: demographic collection: %w", err)
+	}
+	demoEst, err := EstimateNP(demoSamples, p, EstimateConfig{
+		BootstrapIters: boot, CILevel: 0.95, Rand: seed.Derive("demo-boot"),
+	})
+	if err != nil {
+		return DemographicStudy{}, err
+	}
+	return DemographicStudy{P: p, InterestOnly: baseEst, WithDemographics: demoEst}, nil
+}

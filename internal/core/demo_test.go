@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+func demoStudyWorld(t testing.TB) (*population.Model, []*population.User) {
+	t.Helper()
+	icfg := interest.DefaultConfig()
+	icfg.Size = 4000
+	cat, err := interest.Generate(icfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 160
+	m, err := population.NewModel(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	users := make([]*population.User, 80)
+	for i := range users {
+		users[i] = m.PlantUser(int64(i), "ES", population.GenderMale, 25+i%30, 300, r)
+	}
+	return m, users
+}
+
+func TestDemographicKnowledgeFn(t *testing.T) {
+	u := &population.User{Country: "ES", Gender: population.GenderFemale, Age: 17}
+	k := DemographicKnowledge{Country: true, Gender: true, AgeYears: true, AgeSlack: 2}
+	f := k.Fn()(u)
+	if len(f.Countries) != 1 || f.Countries[0] != "ES" {
+		t.Fatalf("countries: %v", f.Countries)
+	}
+	if len(f.Genders) != 1 || f.Genders[0] != population.GenderFemale {
+		t.Fatalf("genders: %v", f.Genders)
+	}
+	if f.AgeMin != 15 || f.AgeMax != 19 {
+		t.Fatalf("ages: %d-%d", f.AgeMin, f.AgeMax)
+	}
+	// Age clamps at the platform minimum of 13.
+	young := &population.User{Age: 13}
+	f = DemographicKnowledge{AgeYears: true, AgeSlack: 5}.Fn()(young)
+	if f.AgeMin != 13 {
+		t.Fatalf("age min %d, want 13", f.AgeMin)
+	}
+	// Undisclosed attributes contribute nothing.
+	anon := &population.User{}
+	f = k.Fn()(anon)
+	if len(f.Countries) != 0 || len(f.Genders) != 0 || f.AgeMin != 0 {
+		t.Fatalf("anonymous user produced filter %+v", f)
+	}
+}
+
+func TestCollectWithDemographicsNarrowsAudiences(t *testing.T) {
+	m, users := demoStudyWorld(t)
+	ms := NewModelSource(m)
+	seed := rng.New(3)
+	plain, err := Collect(users, Random{}, ms, CollectConfig{Seed: seed.Derive("x"), MaxN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	know := DemographicKnowledge{Country: true, Gender: true}.Fn()
+	demo, err := CollectWithDemographics(users, Random{}, ms, know, CollectConfig{Seed: seed.Derive("x"), MaxN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same selections (same seed), narrower base: every demographic sample
+	// must be <= the interest-only sample.
+	for u := range plain.AS {
+		for n := range plain.AS[u] {
+			p, d := plain.AS[u][n], demo.AS[u][n]
+			if math.IsNaN(p) || math.IsNaN(d) {
+				continue
+			}
+			if d > p {
+				t.Fatalf("user %d n %d: demographic audience %v exceeds plain %v", u, n+1, d, p)
+			}
+		}
+	}
+	if demo.Strategy != "R+demo" {
+		t.Fatalf("strategy label %q", demo.Strategy)
+	}
+}
+
+func TestRunDemographicStudySavesInterests(t *testing.T) {
+	m, users := demoStudyWorld(t)
+	ms := NewModelSource(m)
+	know := DemographicKnowledge{Country: true, Gender: true, AgeYears: true, AgeSlack: 1}.Fn()
+	study, err := RunDemographicStudy(users, ms, know, 0.9, 50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.WithDemographics.NP >= study.InterestOnly.NP {
+		t.Fatalf("demographics should reduce N_P: %v vs %v",
+			study.WithDemographics.NP, study.InterestOnly.NP)
+	}
+	if study.Saved() <= 0 {
+		t.Fatalf("saved = %v", study.Saved())
+	}
+}
+
+func TestCollectWithDemographicsValidation(t *testing.T) {
+	m, users := demoStudyWorld(t)
+	ms := NewModelSource(m)
+	if _, err := CollectWithDemographics(nil, Random{}, ms, nil, CollectConfig{Seed: rng.New(1)}); err == nil {
+		t.Error("empty users accepted")
+	}
+	if _, err := CollectWithDemographics(users, nil, ms, nil, CollectConfig{Seed: rng.New(1)}); err == nil {
+		t.Error("nil selector accepted")
+	}
+	if _, err := CollectWithDemographics(users, Random{}, ms, nil, CollectConfig{}); err == nil {
+		t.Error("missing seed accepted")
+	}
+	if _, err := RunDemographicStudy(users, ms, nil, 0.9, 10, nil); err == nil {
+		t.Error("nil seed accepted")
+	}
+	// nil KnowledgeFn degenerates to the unfiltered study and must work.
+	if _, err := CollectWithDemographics(users, Random{}, ms, nil, CollectConfig{Seed: rng.New(2)}); err != nil {
+		t.Errorf("nil knowledge rejected: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the data-driven
+// model of user uniqueness on Facebook (§4).
+//
+// Given a panel of users with known interest sets and an audience-size
+// oracle (the Ads-Manager-style Potential Reach of any interest
+// conjunction), the model computes
+//
+//	N_P — the number of interests that uniquely identify a user with
+//	      probability P.
+//
+// Pipeline: select up to 25 interests per user (least-popular or random
+// order), query the audience size of every prefix, take per-N quantiles
+// across users (AS(Q,N)), assemble the decreasing vector VAS(Q), fit
+// log10(VAS) ~ −A·log10(N+1) + B with the paper's floor-censoring rule, and
+// report the cutpoint N_P = 10^(B/A) − 1 with bootstrap confidence
+// intervals.
+package core
+
+import (
+	"fmt"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// Selector chooses which of a user's interests to combine, and in what
+// order, for the uniqueness study (§4.2). Implementations must be
+// deterministic given the provided generator.
+type Selector interface {
+	// Name identifies the strategy in reports ("LP", "R", ...).
+	Name() string
+	// Select returns up to max interests from u's profile in combination
+	// order (the study queries every prefix of the returned slice).
+	Select(u *population.User, cat *interest.Catalog, max int, r *rng.Rand) []interest.ID
+}
+
+// LeastPopular selects the user's rarest interests, rarest first — the
+// paper's N(LP)_P strategy, a theoretical lower bound on the number of
+// non-PII items that make a person unique.
+type LeastPopular struct{}
+
+// Name implements Selector.
+func (LeastPopular) Name() string { return "LP" }
+
+// Select implements Selector.
+func (LeastPopular) Select(u *population.User, cat *interest.Catalog, max int, _ *rng.Rand) []interest.ID {
+	sorted := u.InterestsByPopularity(cat)
+	if len(sorted) > max {
+		sorted = sorted[:max]
+	}
+	return sorted
+}
+
+// Random selects interests uniformly at random without replacement — the
+// paper's N(R)_P strategy, modeling an attacker who knows an arbitrary
+// subset of the victim's interests.
+type Random struct{}
+
+// Name implements Selector.
+func (Random) Name() string { return "R" }
+
+// Select implements Selector.
+func (Random) Select(u *population.User, _ *interest.Catalog, max int, r *rng.Rand) []interest.ID {
+	n := len(u.Interests)
+	perm := r.Perm(n)
+	if len(perm) > max {
+		perm = perm[:max]
+	}
+	out := make([]interest.ID, len(perm))
+	for i, p := range perm {
+		out[i] = u.Interests[p]
+	}
+	return out
+}
+
+// MostPopular selects the user's most common interests first. It is not in
+// the paper; it serves as an ablation baseline (uniqueness should require
+// far more interests than LP or R).
+type MostPopular struct{}
+
+// Name implements Selector.
+func (MostPopular) Name() string { return "MP" }
+
+// Select implements Selector.
+func (MostPopular) Select(u *population.User, cat *interest.Catalog, max int, _ *rng.Rand) []interest.ID {
+	sorted := u.InterestsByPopularity(cat)
+	// Reverse: most popular first.
+	out := make([]interest.ID, 0, max)
+	for i := len(sorted) - 1; i >= 0 && len(out) < max; i-- {
+		out = append(out, sorted[i])
+	}
+	return out
+}
+
+// NestedRandom reproduces the experiment's interest-set construction (§5.1):
+// a random set of `max` interests is drawn once, and smaller campaigns use
+// nested subsets (22 ⊃ 20 ⊃ 18 ⊃ 12 ⊃ 9 ⊃ 7 ⊃ 5). Select returns the full
+// ordered set; prefixes give the nested subsets.
+type NestedRandom struct{}
+
+// Name implements Selector.
+func (NestedRandom) Name() string { return "NR" }
+
+// Select implements Selector.
+func (NestedRandom) Select(u *population.User, cat *interest.Catalog, max int, r *rng.Rand) []interest.ID {
+	return Random{}.Select(u, cat, max, r)
+}
+
+// selectorRand derives the per-user stream so adding users (or reordering
+// them) never changes another user's selection.
+func selectorRand(parent *rng.Rand, sel Selector, u *population.User) *rng.Rand {
+	return parent.Derive(fmt.Sprintf("select/%s/%d", sel.Name(), u.ID))
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+)
+
+// AudienceSource is the audience-size oracle the study queries. It mirrors
+// what the paper retrieved from the FB Ads Manager API: the Potential Reach
+// of a conjunction of interests, floored at the platform's minimum
+// (20 in the 2017 dataset, 1000 today).
+type AudienceSource interface {
+	// PotentialReach returns the reported audience size of the conjunction.
+	PotentialReach(ids []interest.ID) (int64, error)
+	// Floor returns the minimum value the source ever reports.
+	Floor() int64
+}
+
+// PrefixSource is an optional fast path: sources able to evaluate all
+// prefixes of a combination in one pass (the in-process model does this with
+// an incremental query; an HTTP client would issue one call per prefix).
+type PrefixSource interface {
+	// PrefixReach returns reach for ids[:1], ids[:2], ..., ids[:len(ids)].
+	PrefixReach(ids []interest.ID) ([]int64, error)
+}
+
+// ModelSource adapts the population model as an AudienceSource, reporting
+// conditional expected audiences (the combination's owner is known to match,
+// §4.1) with the platform floor applied.
+type ModelSource struct {
+	Model *population.Model
+	// MinReach is the platform floor (20 for the paper's dataset).
+	MinReach int64
+	// Filter optionally restricts the base (the paper used the top-50
+	// country set; zero value means the whole modeled base).
+	Filter population.DemoFilter
+}
+
+// NewModelSource returns a ModelSource with the 2017-era floor of 20.
+func NewModelSource(m *population.Model) *ModelSource {
+	return &ModelSource{Model: m, MinReach: 20}
+}
+
+// Floor implements AudienceSource.
+func (s *ModelSource) Floor() int64 { return s.MinReach }
+
+// PotentialReach implements AudienceSource.
+func (s *ModelSource) PotentialReach(ids []interest.ID) (int64, error) {
+	if s.Model == nil {
+		return 0, errors.New("core: ModelSource has no model")
+	}
+	aud := s.Model.ExpectedAudienceConditional(s.Filter, ids)
+	return s.clamp(aud), nil
+}
+
+// PrefixReach implements PrefixSource with one incremental query.
+func (s *ModelSource) PrefixReach(ids []interest.ID) ([]int64, error) {
+	if s.Model == nil {
+		return nil, errors.New("core: ModelSource has no model")
+	}
+	base := float64(s.Model.Population())*s.Model.DemoShare(s.Filter) - 1
+	if base < 0 {
+		base = 0
+	}
+	q := s.Model.NewQuery()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		q.And(id)
+		out[i] = s.clamp(1 + base*q.Share())
+	}
+	return out, nil
+}
+
+func (s *ModelSource) clamp(aud float64) int64 {
+	v := int64(math.Round(aud))
+	if v < s.MinReach {
+		v = s.MinReach
+	}
+	return v
+}
+
+// FuncSource adapts a plain function (used by tests and by the HTTP client
+// wrapper in the adsapi package).
+type FuncSource struct {
+	Fn       func(ids []interest.ID) (int64, error)
+	MinReach int64
+}
+
+// PotentialReach implements AudienceSource.
+func (f FuncSource) PotentialReach(ids []interest.ID) (int64, error) { return f.Fn(ids) }
+
+// Floor implements AudienceSource.
+func (f FuncSource) Floor() int64 { return f.MinReach }

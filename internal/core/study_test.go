@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// fakeSource returns audience sizes from a deterministic function of the
+// conjunction length, ignoring interest identity.
+type fakeSource struct {
+	fn    func(n int) float64
+	floor int64
+}
+
+func (f fakeSource) PotentialReach(ids []interest.ID) (int64, error) {
+	v := int64(math.Round(f.fn(len(ids))))
+	if v < f.floor {
+		v = f.floor
+	}
+	return v, nil
+}
+
+func (f fakeSource) Floor() int64 { return f.floor }
+
+// powerLawSource produces AS = C / (N+1)^A exactly, so FitVAS must recover
+// A, B and the cutpoint analytically.
+func powerLawSource(a, c float64, floor int64) fakeSource {
+	return fakeSource{
+		fn:    func(n int) float64 { return c * math.Pow(float64(n+1), -a) },
+		floor: floor,
+	}
+}
+
+func panelUsers(n, interestsEach int) []*population.User {
+	users := make([]*population.User, n)
+	for i := range users {
+		ids := make([]interest.ID, interestsEach)
+		for j := range ids {
+			ids[j] = interest.ID(j)
+		}
+		users[i] = &population.User{ID: int64(i), Interests: ids}
+	}
+	return users
+}
+
+func TestFitVASRecoversPowerLaw(t *testing.T) {
+	// log10(VAS) = -2·log10(N+1) + 6  →  N_P = 10^3 − 1 = 999.
+	vas := make([]float64, 25)
+	for i := range vas {
+		n := float64(i + 1)
+		vas[i] = math.Pow(10, 6-2*math.Log10(n+1))
+	}
+	fit, err := FitVAS(vas, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-2) > 1e-9 || math.Abs(fit.B-6) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.NP-999) > 1e-6 {
+		t.Fatalf("NP = %v, want 999", fit.NP)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if fit.PointsUsed != 25 {
+		t.Fatalf("PointsUsed = %d", fit.PointsUsed)
+	}
+}
+
+func TestFitVASCensoringRule(t *testing.T) {
+	// VAS hits the floor at N=5; the first floored point must be included,
+	// later points dropped (§4.1).
+	vas := []float64{1e6, 1e4, 1e3, 100, 20, 20, 20, 20}
+	fit, err := FitVAS(vas, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PointsUsed != 5 {
+		t.Fatalf("PointsUsed = %d, want 5 (censoring rule)", fit.PointsUsed)
+	}
+}
+
+func TestFitVASStopsAtNaN(t *testing.T) {
+	vas := []float64{1e6, 1e4, math.NaN(), 100}
+	fit, err := FitVAS(vas, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PointsUsed != 2 {
+		t.Fatalf("PointsUsed = %d, want 2", fit.PointsUsed)
+	}
+}
+
+func TestFitVASErrors(t *testing.T) {
+	if _, err := FitVAS([]float64{20, 20}, 20); err == nil {
+		t.Error("all-floored VAS should fail (only 1 usable point)")
+	}
+	if _, err := FitVAS([]float64{100, 200, 400}, 20); err == nil {
+		t.Error("increasing VAS should fail (non-negative slope)")
+	}
+	if _, err := FitVAS([]float64{-5, 100}, 20); err == nil {
+		t.Error("negative audience should fail")
+	}
+}
+
+func TestCollectShapesAndPrefixEquivalence(t *testing.T) {
+	users := panelUsers(10, 30)
+	src := powerLawSource(1.5, 1e7, 20)
+	s, err := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumUsers() != 10 || s.MaxN != 25 {
+		t.Fatalf("shape: users=%d maxN=%d", s.NumUsers(), s.MaxN)
+	}
+	for n := 1; n <= 25; n++ {
+		if got := s.SampleCountAt(n); got != 10 {
+			t.Fatalf("SampleCountAt(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestCollectShortProfiles(t *testing.T) {
+	// Users with fewer interests than MaxN produce shorter rows, like the
+	// paper's N=25 vector with 2,286 of 2,390 samples.
+	users := panelUsers(5, 10)
+	src := powerLawSource(1.5, 1e7, 20)
+	s, err := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SampleCountAt(10); got != 5 {
+		t.Fatalf("SampleCountAt(10) = %d", got)
+	}
+	if got := s.SampleCountAt(11); got != 0 {
+		t.Fatalf("SampleCountAt(11) = %d, want 0", got)
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	users := panelUsers(8, 40)
+	src := powerLawSource(2, 1e8, 20)
+	a, _ := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(9)})
+	b, _ := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(9)})
+	for u := range a.AS {
+		for n := range a.AS[u] {
+			av, bv := a.AS[u][n], b.AS[u][n]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatal("collection not deterministic")
+			}
+		}
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	src := powerLawSource(1, 1e6, 20)
+	if _, err := Collect(nil, Random{}, src, CollectConfig{}); err == nil {
+		t.Error("empty panel accepted")
+	}
+	if _, err := Collect(panelUsers(1, 5), nil, src, CollectConfig{}); err == nil {
+		t.Error("nil selector accepted")
+	}
+}
+
+func TestVASDecreasing(t *testing.T) {
+	users := panelUsers(20, 30)
+	src := powerLawSource(1.8, 1e8, 20)
+	s, _ := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(3)})
+	vas := s.VAS(0.5)
+	for i := 1; i < len(vas); i++ {
+		if vas[i] > vas[i-1]+1e-9 {
+			t.Fatalf("VAS increased at N=%d: %v > %v", i+1, vas[i], vas[i-1])
+		}
+	}
+}
+
+func TestEstimateNPAnalytic(t *testing.T) {
+	// With AS = 1e6/(N+1)^2 for every user, N_P = 10^3 − 1 = 999 regardless
+	// of P, and the bootstrap CI must collapse onto the point estimate.
+	users := panelUsers(50, 30)
+	src := powerLawSource(2, 1e6, 1) // floor 1 → effectively uncensored
+	s, _ := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(4)})
+	est, err := EstimateNP(s, 0.9, EstimateConfig{BootstrapIters: 200, CILevel: 0.95, Rand: rng.New(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source rounds audience sizes to integers, so allow a small
+	// deviation from the analytic cutpoint.
+	if math.Abs(est.NP-999) > 1 {
+		t.Fatalf("NP = %v, want ~999", est.NP)
+	}
+	if est.CI.Width() > 1e-6 {
+		t.Fatalf("CI should be degenerate for identical users: %+v", est.CI)
+	}
+	if est.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", est.R2)
+	}
+}
+
+func TestEstimateNPValidation(t *testing.T) {
+	users := panelUsers(5, 30)
+	src := powerLawSource(2, 1e6, 20)
+	s, _ := Collect(users, Random{}, src, CollectConfig{Seed: rng.New(6)})
+	if _, err := EstimateNP(s, 0, EstimateConfig{}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := EstimateNP(s, 1, EstimateConfig{}); err == nil {
+		t.Error("P=1 accepted")
+	}
+	if _, err := EstimateNP(s, 0.5, EstimateConfig{BootstrapIters: 10}); err == nil {
+		t.Error("bootstrap without Rand accepted")
+	}
+}
+
+func TestSelectorsBasics(t *testing.T) {
+	icfg := interest.DefaultConfig()
+	icfg.Size = 500
+	cat, _ := interest.Generate(icfg, rng.New(7))
+	u := &population.User{ID: 1}
+	for i := 0; i < 60; i++ {
+		u.Interests = append(u.Interests, interest.ID(i*7))
+	}
+	r := rng.New(8)
+
+	lp := LeastPopular{}.Select(u, cat, 25, r)
+	if len(lp) != 25 {
+		t.Fatalf("LP returned %d", len(lp))
+	}
+	for i := 1; i < len(lp); i++ {
+		if cat.Share(lp[i]) < cat.Share(lp[i-1]) {
+			t.Fatal("LP not ascending by share")
+		}
+	}
+
+	mp := MostPopular{}.Select(u, cat, 25, r)
+	for i := 1; i < len(mp); i++ {
+		if cat.Share(mp[i]) > cat.Share(mp[i-1]) {
+			t.Fatal("MP not descending by share")
+		}
+	}
+	if cat.Share(mp[0]) < cat.Share(lp[len(lp)-1]) {
+		t.Fatal("MP head should be at least as popular as LP tail")
+	}
+
+	rd := Random{}.Select(u, cat, 25, rng.New(9))
+	if len(rd) != 25 {
+		t.Fatalf("Random returned %d", len(rd))
+	}
+	seen := map[interest.ID]bool{}
+	for _, id := range rd {
+		if seen[id] {
+			t.Fatal("Random selected duplicates")
+		}
+		seen[id] = true
+		if !u.HasInterest(id) {
+			t.Fatal("Random selected an interest the user lacks")
+		}
+	}
+}
+
+func TestRandomSelectorSmallProfile(t *testing.T) {
+	u := &population.User{ID: 2, Interests: []interest.ID{1, 2, 3}}
+	got := Random{}.Select(u, nil, 25, rng.New(10))
+	if len(got) != 3 {
+		t.Fatalf("want all 3 interests, got %d", len(got))
+	}
+}
+
+func TestRunStudySmokeOnModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-backed study in -short mode")
+	}
+	icfg := interest.DefaultConfig()
+	icfg.Size = 4000
+	cat, err := interest.Generate(icfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 192
+	m, err := population.NewModel(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	users := make([]*population.User, 120)
+	counts := []float64{50, 120, 426, 900, 2000}
+	for i := range users {
+		users[i] = m.PlantUser(int64(i), "ES", population.GenderMale, 30, counts[i%len(counts)], r)
+	}
+	src := NewModelSource(m)
+	cfg := DefaultStudyConfig(rng.New(13))
+	cfg.BootstrapIters = 100
+	res, err := RunStudy(users, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("want 8 rows (2 strategies × 4 Ps), got %d", len(res.Rows))
+	}
+	byKey := map[string]float64{}
+	for _, row := range res.Rows {
+		e := row.Estimate
+		if e.NP <= 0 {
+			t.Fatalf("non-positive NP: %+v", row)
+		}
+		if !e.CI.Contains(e.NP) && e.CI.Width() > 0 {
+			t.Logf("note: point estimate outside CI: %+v", row)
+		}
+		byKey[row.Strategy+f2s(e.P)] = e.NP
+	}
+	// Structural expectations that must hold regardless of calibration:
+	// LP needs fewer interests than Random at the same P, and N_P grows
+	// with P within a strategy.
+	if byKey["LP"+f2s(0.9)] >= byKey["R"+f2s(0.9)] {
+		t.Fatalf("N(LP)_0.9 = %v should be below N(R)_0.9 = %v",
+			byKey["LP"+f2s(0.9)], byKey["R"+f2s(0.9)])
+	}
+	for _, strat := range []string{"LP", "R"} {
+		if byKey[strat+f2s(0.5)] > byKey[strat+f2s(0.95)] {
+			t.Fatalf("%s: N_P not increasing in P", strat)
+		}
+	}
+}
+
+func f2s(p float64) string {
+	switch p {
+	case 0.5:
+		return "50"
+	case 0.8:
+		return "80"
+	case 0.9:
+		return "90"
+	case 0.95:
+		return "95"
+	}
+	return "?"
+}
+
+func TestGroupFilters(t *testing.T) {
+	users := []*population.User{
+		{ID: 1, Gender: population.GenderMale, Age: 25, Country: "ES"},
+		{ID: 2, Gender: population.GenderFemale, Age: 17, Country: "FR"},
+		{ID: 3, Gender: population.GenderFemale, Age: 45, Country: "AR"},
+	}
+	count := func(f GroupFilter) int {
+		n := 0
+		for _, u := range users {
+			if f.Match(u) {
+				n++
+			}
+		}
+		return n
+	}
+	gg := GenderGroups()
+	if count(gg[0]) != 1 || count(gg[1]) != 2 {
+		t.Fatal("gender groups wrong")
+	}
+	ag := AgeGroups()
+	if count(ag[0]) != 1 || count(ag[1]) != 1 || count(ag[2]) != 1 {
+		t.Fatal("age groups wrong")
+	}
+	cg := CountryGroups()
+	total := 0
+	for _, g := range cg {
+		total += count(g)
+	}
+	if total != 3 {
+		t.Fatal("country groups wrong")
+	}
+}
+
+func TestModelSourceFloor(t *testing.T) {
+	icfg := interest.DefaultConfig()
+	icfg.Size = 300
+	cat, _ := interest.Generate(icfg, rng.New(14))
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 128
+	m, _ := population.NewModel(pcfg)
+	src := NewModelSource(m)
+	if src.Floor() != 20 {
+		t.Fatalf("default floor = %d", src.Floor())
+	}
+	rare := cat.RarestFirst()[:25]
+	reach, err := src.PotentialReach(rare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reach != 20 {
+		t.Fatalf("25 rarest interests should floor at 20, got %d", reach)
+	}
+	prefixes, err := src.PrefixReach(rare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefixes) != 25 {
+		t.Fatalf("prefix count %d", len(prefixes))
+	}
+	for i, v := range prefixes {
+		single, _ := src.PotentialReach(rare[:i+1])
+		if v != single {
+			t.Fatalf("prefix %d: %d != direct %d", i+1, v, single)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// Row is one cell of Table 1: an N_P estimate for a strategy and P.
+type Row struct {
+	Strategy string
+	Estimate Estimate
+}
+
+// StudyResult bundles the Table 1 rows and the per-strategy samples (so
+// figures 3–5 can be rendered from the same collection pass).
+type StudyResult struct {
+	Rows    []Row
+	Samples map[string]*Samples // keyed by strategy name
+}
+
+// StudyConfig configures a full §4 uniqueness study.
+type StudyConfig struct {
+	// Ps are the uniqueness probabilities (paper: 0.5, 0.8, 0.9, 0.95).
+	Ps []float64
+	// Selectors to evaluate (paper: LeastPopular and Random).
+	Selectors []Selector
+	// MaxN caps combination size (default 25).
+	MaxN int
+	// BootstrapIters per estimate (paper: 10,000).
+	BootstrapIters int
+	// CILevel (paper: 0.95).
+	CILevel float64
+	// Rand seeds selection and bootstrap. Required.
+	Rand *rng.Rand
+}
+
+// DefaultStudyConfig mirrors the paper's Table 1 setup.
+func DefaultStudyConfig(r *rng.Rand) StudyConfig {
+	return StudyConfig{
+		Ps:             []float64{0.5, 0.8, 0.9, 0.95},
+		Selectors:      []Selector{LeastPopular{}, Random{}},
+		MaxN:           MaxCombinationInterests,
+		BootstrapIters: 10_000,
+		CILevel:        0.95,
+		Rand:           r,
+	}
+}
+
+// RunStudy collects samples per selector and estimates N_P for every P.
+func RunStudy(users []*population.User, src AudienceSource, cfg StudyConfig) (*StudyResult, error) {
+	if cfg.Rand == nil {
+		return nil, errors.New("core: StudyConfig.Rand is required")
+	}
+	if len(cfg.Ps) == 0 || len(cfg.Selectors) == 0 {
+		return nil, errors.New("core: StudyConfig needs Ps and Selectors")
+	}
+	res := &StudyResult{Samples: make(map[string]*Samples, len(cfg.Selectors))}
+	for _, sel := range cfg.Selectors {
+		samples, err := Collect(users, sel, src, CollectConfig{
+			MaxN: cfg.MaxN,
+			Seed: cfg.Rand.Derive("collect/" + sel.Name()),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: collecting %s samples: %w", sel.Name(), err)
+		}
+		res.Samples[sel.Name()] = samples
+		for _, p := range cfg.Ps {
+			est, err := EstimateNP(samples, p, EstimateConfig{
+				BootstrapIters: cfg.BootstrapIters,
+				CILevel:        cfg.CILevel,
+				Rand:           cfg.Rand.Derive(fmt.Sprintf("boot/%s/%.3f", sel.Name(), p)),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: estimating N_%.2f (%s): %w", p, sel.Name(), err)
+			}
+			res.Rows = append(res.Rows, Row{Strategy: sel.Name(), Estimate: est})
+		}
+	}
+	return res, nil
+}
+
+// GroupFilter selects a demographic sub-panel for the Appendix C analysis.
+type GroupFilter struct {
+	// Label names the group in reports ("Men", "Adolescence", "ES", ...).
+	Label string
+	// Match decides panel membership.
+	Match func(u *population.User) bool
+}
+
+// GroupResult is one bar of Figures 8–10: N_P for one demographic group.
+type GroupResult struct {
+	Label    string
+	Strategy string
+	Users    int
+	Estimate Estimate
+}
+
+// RunGroupAnalysis estimates N_P (single probability p, paper uses 0.9) for
+// each demographic group under each selector — the Appendix C analysis
+// behind Figures 8, 9 and 10.
+func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []GroupFilter, selectors []Selector, p float64, iters int, r *rng.Rand) ([]GroupResult, error) {
+	if r == nil {
+		return nil, errors.New("core: rand is required")
+	}
+	var out []GroupResult
+	for _, g := range groups {
+		var sub []*population.User
+		for _, u := range users {
+			if g.Match(u) {
+				sub = append(sub, u)
+			}
+		}
+		if len(sub) == 0 {
+			return nil, fmt.Errorf("core: group %q matched no users", g.Label)
+		}
+		for _, sel := range selectors {
+			samples, err := Collect(sub, sel, src, CollectConfig{
+				Seed: r.Derive("group/" + g.Label + "/" + sel.Name()),
+			})
+			if err != nil {
+				return nil, err
+			}
+			est, err := EstimateNP(samples, p, EstimateConfig{
+				BootstrapIters: iters,
+				CILevel:        0.95,
+				Rand:           r.Derive("groupboot/" + g.Label + "/" + sel.Name()),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: group %q (%s): %w", g.Label, sel.Name(), err)
+			}
+			out = append(out, GroupResult{
+				Label:    g.Label,
+				Strategy: sel.Name(),
+				Users:    len(sub),
+				Estimate: est,
+			})
+		}
+	}
+	return out, nil
+}
+
+// GenderGroups returns the paper's Fig 8 grouping.
+func GenderGroups() []GroupFilter {
+	return []GroupFilter{
+		{Label: "Men", Match: func(u *population.User) bool { return u.Gender == population.GenderMale }},
+		{Label: "Women", Match: func(u *population.User) bool { return u.Gender == population.GenderFemale }},
+	}
+}
+
+// AgeGroups returns the paper's Fig 9 grouping (Maturity excluded: only 19
+// panel users, as in the paper).
+func AgeGroups() []GroupFilter {
+	mk := func(label string, g population.AgeGroup) GroupFilter {
+		return GroupFilter{Label: label, Match: func(u *population.User) bool { return u.AgeGroup() == g }}
+	}
+	return []GroupFilter{
+		mk("Adolescence", population.AgeAdolescence),
+		mk("Early adulthood", population.AgeEarlyAdulthood),
+		mk("Adulthood", population.AgeAdulthood),
+	}
+}
+
+// CountryGroups returns the paper's Fig 10 grouping: panel countries with
+// more than 100 users (ES, FR, MX, AR).
+func CountryGroups() []GroupFilter {
+	mk := func(code string) GroupFilter {
+		return GroupFilter{Label: code, Match: func(u *population.User) bool { return u.Country == code }}
+	}
+	return []GroupFilter{mk("AR"), mk("ES"), mk("FR"), mk("MX")}
+}

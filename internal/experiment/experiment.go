@@ -1,0 +1,242 @@
+// Package experiment orchestrates the paper's nanotargeting experiment
+// (§5.1): for each targeted user, a random set of 22 interests is drawn from
+// their profile and nested subsets of 22 ⊃ 20 ⊃ 18 ⊃ 12 ⊃ 9 ⊃ 7 ⊃ 5 define
+// seven campaigns. Campaigns expected to succeed (12+ interests, the
+// "Success Group") run on the paper's four-window schedule; the rest (the
+// "Failure Group") run on the same hours one week later. Every campaign is
+// validated with the paper's three success conditions and the outcomes are
+// assembled into Table 2.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"nanotarget/internal/campaign"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/simclock"
+	"nanotarget/internal/weblog"
+)
+
+// Config controls the experiment.
+type Config struct {
+	// Model is the world the campaigns run against (the paper's experiment
+	// ran worldwide against ~2.8B monthly active users).
+	Model *population.Model
+	// Targets are the consenting users to nanotarget (the paper used three
+	// of its authors).
+	Targets []*population.User
+	// InterestCounts are the nested campaign sizes, ascending
+	// (paper: 5, 7, 9, 12, 18, 20, 22).
+	InterestCounts []int
+	// SuccessGroupMin is the smallest count in the Success Group
+	// (paper: 12; smaller counts form the Failure Group).
+	SuccessGroupMin int
+	// DailyBudgetCents is the per-campaign daily budget (paper: 7000).
+	DailyBudgetCents int64
+	// Delivery parametrizes the delivery engine.
+	Delivery campaign.DeliveryConfig
+	// Logger receives landing-page clicks. Required.
+	Logger *weblog.Logger
+	// Rand drives interest selection, audience realization and delivery.
+	Rand *rng.Rand
+}
+
+// DefaultConfig mirrors §5.1 for the given world, targets and click logger.
+func DefaultConfig(m *population.Model, targets []*population.User, logger *weblog.Logger, r *rng.Rand) Config {
+	return Config{
+		Model:            m,
+		Targets:          targets,
+		InterestCounts:   []int{5, 7, 9, 12, 18, 20, 22},
+		SuccessGroupMin:  12,
+		DailyBudgetCents: 7000,
+		Delivery:         campaign.DefaultDeliveryConfig(),
+		Logger:           logger,
+		Rand:             r,
+	}
+}
+
+// Outcome is one campaign's row in Table 2.
+type Outcome struct {
+	// UserIndex is 0-based; the paper labels them User 1–3.
+	UserIndex int
+	// N is the number of interests in the campaign.
+	N int
+	// Result is the delivery outcome.
+	Result campaign.Result
+}
+
+// Report is the full experiment outcome.
+type Report struct {
+	Outcomes []Outcome
+	// Campaigns is the total number of campaigns run (paper: 21).
+	Campaigns int
+	// Successes is the number of campaigns that nanotargeted their user
+	// (paper: 9 of 21).
+	Successes int
+	// TotalCostCents sums all campaign costs (paper: 305.36 €... the
+	// magnitude depends on audience realizations).
+	TotalCostCents int64
+	// SuccessCostCents sums the cost of the successful campaigns only
+	// (paper: 0.12 €).
+	SuccessCostCents int64
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Model == nil || cfg.Logger == nil || cfg.Rand == nil {
+		return nil, errors.New("experiment: Model, Logger and Rand are required")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("experiment: at least one target user is required")
+	}
+	if len(cfg.InterestCounts) == 0 {
+		return nil, errors.New("experiment: InterestCounts is empty")
+	}
+	counts := append([]int(nil), cfg.InterestCounts...)
+	sort.Ints(counts)
+	maxN := counts[len(counts)-1]
+	if maxN > 25 {
+		return nil, fmt.Errorf("experiment: %d interests exceed the platform limit of 25", maxN)
+	}
+
+	eng, err := campaign.NewEngine(cfg.Delivery, cfg.Model, cfg.Logger)
+	if err != nil {
+		return nil, err
+	}
+	successSched := simclock.PaperSchedule()
+	failureSched := simclock.PaperFailureSchedule()
+
+	rep := &Report{}
+	for ui, target := range cfg.Targets {
+		if len(target.Interests) < maxN {
+			return nil, fmt.Errorf("experiment: target %d has only %d interests; %d required",
+				ui, len(target.Interests), maxN)
+		}
+		// Draw the nested master set: a random ordering whose prefixes give
+		// the 22 ⊃ 20 ⊃ 18 ⊃ ... subsets of §5.1.
+		master := randomSubset(target, maxN, cfg.Rand.Derive(fmt.Sprintf("master/%d", ui)))
+		for _, n := range counts {
+			sched := failureSched
+			if n >= cfg.SuccessGroupMin {
+				sched = successSched
+			}
+			creativeID := fmt.Sprintf("user%d-n%d", ui+1, n)
+			spec := campaign.Spec{
+				Name:             fmt.Sprintf("FDVT promo — User %d, %d interests", ui+1, n),
+				Interests:        master[:n],
+				DailyBudgetCents: cfg.DailyBudgetCents,
+				Schedule:         sched,
+				Creative: campaign.Creative{
+					ID:    creativeID,
+					Title: "FDVT: Data Valuation Tool",
+					Body:  fmt.Sprintf("How much do you earn for Facebook? [U%d/N%d]", ui+1, n),
+				},
+			}
+			res, err := eng.Run(spec, target, cfg.Rand.Derive("run/"+creativeID))
+			if err != nil {
+				return nil, fmt.Errorf("experiment: campaign %s: %w", creativeID, err)
+			}
+			rep.Outcomes = append(rep.Outcomes, Outcome{UserIndex: ui, N: n, Result: res})
+			rep.Campaigns++
+			rep.TotalCostCents += res.CostCents
+			if res.Nanotargeted {
+				rep.Successes++
+				rep.SuccessCostCents += res.CostCents
+			}
+		}
+	}
+	return rep, nil
+}
+
+// randomSubset draws maxN distinct interests uniformly from the target's
+// profile, in a fixed random order.
+func randomSubset(u *population.User, maxN int, r *rng.Rand) []interest.ID {
+	perm := r.Perm(len(u.Interests))
+	out := make([]interest.ID, maxN)
+	for i := 0; i < maxN; i++ {
+		out[i] = u.Interests[perm[i]]
+	}
+	return out
+}
+
+// SuccessesWithAtLeast returns how many campaigns with n >= min interests
+// nanotargeted their user, and how many such campaigns ran — the paper's
+// headline "8 out of the 9 ad campaigns that used 18+ interests succeeded".
+func (r *Report) SuccessesWithAtLeast(min int) (succ, total int) {
+	for _, o := range r.Outcomes {
+		if o.N >= min {
+			total++
+			if o.Result.Nanotargeted {
+				succ++
+			}
+		}
+	}
+	return succ, total
+}
+
+// Render writes the Table 2 layout: per user, one row per interest count
+// with Seen / Reached / Impressions / TFI / Cost / Clicks.
+func (r *Report) Render(w io.Writer) error {
+	byUser := map[int][]Outcome{}
+	for _, o := range r.Outcomes {
+		byUser[o.UserIndex] = append(byUser[o.UserIndex], o)
+	}
+	users := make([]int, 0, len(byUser))
+	for ui := range byUser {
+		users = append(users, ui)
+	}
+	sort.Ints(users)
+	for _, ui := range users {
+		rows := byUser[ui]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].N < rows[j].N })
+		if _, err := fmt.Fprintf(w, "User %d\n%-14s %-5s %9s %12s %10s %9s %12s\n",
+			ui+1, "", "Seen", "Reached", "Impressions", "TFI", "Cost", "Clicks"); err != nil {
+			return err
+		}
+		for _, o := range rows {
+			res := o.Result
+			seen := "No"
+			if res.Seen {
+				seen = "Yes"
+			}
+			tfi := "-"
+			if res.Seen {
+				tfi = formatTFI(res.TFI)
+			}
+			cost := "Free"
+			if res.CostCents > 0 {
+				cost = fmt.Sprintf("€%.2f", float64(res.CostCents)/100)
+			}
+			marker := " "
+			if res.Nanotargeted {
+				marker = "*"
+			}
+			if _, err := fmt.Fprintf(w, "%-2s%d interests  %-5s %9d %12d %10s %9s %6d (%d)\n",
+				marker, o.N, seen, res.Reached, res.Impressions, tfi, cost,
+				res.Clicks, res.UniqueClickIPs); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintf(w,
+		"campaigns: %d, nanotargeting successes: %d (marked *)\ntotal cost: €%.2f, cost of successful campaigns: €%.2f\n",
+		r.Campaigns, r.Successes,
+		float64(r.TotalCostCents)/100, float64(r.SuccessCostCents)/100)
+	return err
+}
+
+func formatTFI(d time.Duration) string {
+	h := int(d.Hours())
+	m := int(d.Minutes()) % 60
+	if h == 0 {
+		return fmt.Sprintf("%d'", m)
+	}
+	return fmt.Sprintf("%dh %d'", h, m)
+}

@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/simclock"
+	"nanotarget/internal/weblog"
+)
+
+func testSetup(t testing.TB) (*population.Model, []*population.User, *weblog.Logger) {
+	t.Helper()
+	icfg := interest.DefaultConfig()
+	icfg.Size = 4000
+	cat, err := interest.Generate(icfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 160
+	pcfg.Population = 2_800_000_000
+	m, err := population.NewModel(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	targets := []*population.User{
+		m.PlantUser(1, "ES", population.GenderMale, 32, 500, r),
+		m.PlantUser(2, "ES", population.GenderMale, 41, 700, r),
+		m.PlantUser(3, "ES", population.GenderMale, 28, 350, r),
+	}
+	clock := simclock.NewSim(time.Date(2020, 10, 29, 19, 0, 0, 0, simclock.CET))
+	logger, err := weblog.NewLogger([]byte("0123456789abcdef0123456789abcdef"), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, targets, logger
+}
+
+func TestRunShape(t *testing.T) {
+	m, targets, logger := testSetup(t)
+	rep, err := Run(DefaultConfig(m, targets, logger, rng.New(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaigns != 21 {
+		t.Fatalf("campaigns = %d, want 21", rep.Campaigns)
+	}
+	if len(rep.Outcomes) != 21 {
+		t.Fatalf("outcomes = %d", len(rep.Outcomes))
+	}
+	// Each user must have one campaign per interest count.
+	seen := map[[2]int]bool{}
+	for _, o := range rep.Outcomes {
+		key := [2]int{o.UserIndex, o.N}
+		if seen[key] {
+			t.Fatalf("duplicate campaign %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestNestedSubsets(t *testing.T) {
+	// Campaigns for the same user must use nested interest sets
+	// (22 ⊃ 20 ⊃ 18 ⊃ ...), per §5.1. We verify through the delivery
+	// results' audience monotonicity AND by reconstructing the selection.
+	_, targets, _ := testSetup(t)
+	u := targets[0]
+	r := rng.New(77)
+	master := randomSubset(u, 22, r)
+	idset := map[interest.ID]bool{}
+	for _, id := range master {
+		if idset[id] {
+			t.Fatal("duplicate interest in master set")
+		}
+		idset[id] = true
+		if !u.HasInterest(id) {
+			t.Fatal("master set contains foreign interest")
+		}
+	}
+	// Prefix property: the 5-interest set is a subset of the 22-interest.
+	for _, id := range master[:5] {
+		if !idset[id] {
+			t.Fatal("prefix escaped master set")
+		}
+	}
+}
+
+func TestPaperShapeReproduced(t *testing.T) {
+	// The headline claims: campaigns with 18+ random interests nanotarget
+	// with very high probability; campaigns with <=9 interests fail; and
+	// successful campaigns are extremely cheap.
+	m, targets, logger := testSetup(t)
+	rep, err := Run(DefaultConfig(m, targets, logger, rng.New(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ18, total18 := rep.SuccessesWithAtLeast(18)
+	if total18 != 9 {
+		t.Fatalf("18+ campaigns = %d, want 9", total18)
+	}
+	if succ18 < 6 {
+		t.Fatalf("only %d/9 campaigns with 18+ interests succeeded; paper saw 8/9", succ18)
+	}
+	for _, o := range rep.Outcomes {
+		if o.N <= 7 && o.Result.Nanotargeted {
+			t.Fatalf("a %d-interest campaign nanotargeted; that should be vanishingly rare", o.N)
+		}
+		if o.N <= 5 && o.Result.Reached < 10 {
+			t.Fatalf("5-interest campaign reached only %d users", o.Result.Reached)
+		}
+	}
+	if rep.Successes > 0 && rep.SuccessCostCents > int64(rep.Successes)*20 {
+		t.Fatalf("successful campaigns cost %d cents total — paper's cost 12 cents for 9", rep.SuccessCostCents)
+	}
+	if rep.TotalCostCents < rep.SuccessCostCents {
+		t.Fatal("total cost below success cost")
+	}
+}
+
+func TestFailureGroupUsesShiftedSchedule(t *testing.T) {
+	// Structural check on config defaults.
+	cfg := DefaultConfig(nil, nil, nil, nil)
+	if cfg.SuccessGroupMin != 12 {
+		t.Fatalf("SuccessGroupMin = %d", cfg.SuccessGroupMin)
+	}
+	want := []int{5, 7, 9, 12, 18, 20, 22}
+	if len(cfg.InterestCounts) != len(want) {
+		t.Fatalf("InterestCounts = %v", cfg.InterestCounts)
+	}
+	for i := range want {
+		if cfg.InterestCounts[i] != want[i] {
+			t.Fatalf("InterestCounts = %v", cfg.InterestCounts)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m, targets, logger := testSetup(t)
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultConfig(m, nil, logger, rng.New(1))
+	if _, err := Run(cfg); err == nil {
+		t.Error("no targets accepted")
+	}
+	cfg = DefaultConfig(m, targets, logger, rng.New(1))
+	cfg.InterestCounts = []int{30}
+	if _, err := Run(cfg); err == nil {
+		t.Error("30 interests accepted")
+	}
+	// A target with a tiny profile cannot support 22-interest campaigns.
+	small := m.PlantUser(99, "ES", population.GenderMale, 30, 3, rng.New(9))
+	if len(small.Interests) < 22 {
+		cfg = DefaultConfig(m, []*population.User{small}, logger, rng.New(1))
+		if _, err := Run(cfg); err == nil {
+			t.Error("under-sized profile accepted")
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	m, targets, logger := testSetup(t)
+	rep, err := Run(DefaultConfig(m, targets, logger, rng.New(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"User 1", "User 2", "User 3", "22 interests", "5 interests", "campaigns: 21"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicReport(t *testing.T) {
+	m, targets, logger := testSetup(t)
+	a, err := Run(DefaultConfig(m, targets, logger, rng.New(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, targets2, logger2 := testSetup(t)
+	b, err := Run(DefaultConfig(m, targets2, logger2, rng.New(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Successes != b.Successes || a.TotalCostCents != b.TotalCostCents {
+		t.Fatalf("experiment not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFormatTFI(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{44 * time.Minute, "44'"},
+		{3*time.Hour + 31*time.Minute, "3h 31'"},
+		{32*time.Hour + 10*time.Minute, "32h 10'"},
+	}
+	for _, c := range cases {
+		if got := formatTFI(c.d); got != c.want {
+			t.Errorf("formatTFI(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package fdvt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+func testModel(t testing.TB) *population.Model {
+	t.Helper()
+	icfg := interest.DefaultConfig()
+	icfg.Size = 3000
+	cat, err := interest.Generate(icfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 160
+	m, err := population.NewModel(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func smallPanel(t testing.TB, m *population.Model, size int, seed uint64) *Panel {
+	t.Helper()
+	cfg := DefaultPanelConfig(m)
+	cfg.Size = size
+	// With a 3k-interest test catalog, full-size profiles are impossible;
+	// scale the profile distribution down.
+	cfg.ProfileMedian = 80
+	cfg.ProfileMax = 1500
+	p, err := BuildPanel(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestApportionExactDefaults(t *testing.T) {
+	counts := apportion(2390, []float64{1949, 347, 94})
+	if counts[0] != 1949 || counts[1] != 347 || counts[2] != 94 {
+		t.Fatalf("gender apportionment = %v, want exact paper counts", counts)
+	}
+	counts = apportion(2390, []float64{117, 1374, 578, 19, 302})
+	want := []int{117, 1374, 578, 19, 302}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("age apportionment = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestApportionSumsToTotal(t *testing.T) {
+	for _, total := range []int{1, 7, 100, 239, 2390} {
+		counts := apportion(total, []float64{1949, 347, 94})
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("apportion(%d) sums to %d", total, sum)
+		}
+	}
+}
+
+func TestPanelMarginals(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 239, 3) // 10% of the paper's panel
+	s := p.Describe()
+	if s.Users != 239 {
+		t.Fatalf("panel size %d", s.Users)
+	}
+	// 10% scaling: 1949→~195, 347→~35, 94→~9.
+	if s.Men < 190 || s.Men > 200 {
+		t.Fatalf("men = %d, want ~195", s.Men)
+	}
+	if s.Women < 30 || s.Women > 40 {
+		t.Fatalf("women = %d, want ~35", s.Women)
+	}
+	if s.AgeUndeclared < 25 || s.AgeUndeclared > 35 {
+		t.Fatalf("age undisclosed = %d, want ~30", s.AgeUndeclared)
+	}
+	if s.Countries < 10 {
+		t.Fatalf("only %d countries", s.Countries)
+	}
+}
+
+func TestPanelProfilesWithinBounds(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 150, 4)
+	for _, u := range p.Users {
+		if len(u.Interests) == 0 {
+			t.Fatal("panel user with empty profile")
+		}
+	}
+	s := p.Describe()
+	if s.MinProfile < 1 {
+		t.Fatalf("min profile %d", s.MinProfile)
+	}
+	if s.MedianProfile < 30 || s.MedianProfile > 200 {
+		t.Fatalf("median profile %v, want near 80", s.MedianProfile)
+	}
+}
+
+func TestPanelDeterministic(t *testing.T) {
+	m := testModel(t)
+	a := smallPanel(t, m, 60, 7)
+	b := smallPanel(t, m, 60, 7)
+	for i := range a.Users {
+		ua, ub := a.Users[i], b.Users[i]
+		if ua.Country != ub.Country || ua.Gender != ub.Gender || ua.Age != ub.Age ||
+			len(ua.Interests) != len(ub.Interests) {
+			t.Fatal("panel not deterministic")
+		}
+	}
+}
+
+func TestPanelValidation(t *testing.T) {
+	m := testModel(t)
+	cfg := DefaultPanelConfig(m)
+	cfg.Size = 0
+	if _, err := BuildPanel(cfg, rng.New(1)); err == nil {
+		t.Error("zero size accepted")
+	}
+	cfg = DefaultPanelConfig(nil)
+	if _, err := BuildPanel(cfg, rng.New(1)); err == nil {
+		t.Error("nil model accepted")
+	}
+	cfg = DefaultPanelConfig(m)
+	cfg.ProfileMin, cfg.ProfileMax = 100, 50
+	if _, err := BuildPanel(cfg, rng.New(1)); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 50, 8)
+	str := p.Describe().String()
+	if !strings.Contains(str, "50 users") {
+		t.Fatalf("stats string missing user count: %s", str)
+	}
+}
+
+func TestRiskFor(t *testing.T) {
+	cases := []struct {
+		aud  int64
+		want RiskLevel
+	}{
+		{1, RiskHigh}, {10_000, RiskHigh}, {10_001, RiskMedium},
+		{100_000, RiskMedium}, {100_001, RiskLow}, {1_000_000, RiskLow},
+		{1_000_001, RiskNone}, {500_000_000, RiskNone},
+	}
+	for _, c := range cases {
+		if got := RiskFor(c.aud); got != c.want {
+			t.Errorf("RiskFor(%d) = %v, want %v", c.aud, got, c.want)
+		}
+	}
+}
+
+func TestRiskLevelStrings(t *testing.T) {
+	want := map[RiskLevel]string{RiskHigh: "red", RiskMedium: "orange", RiskLow: "yellow", RiskNone: "green"}
+	for lvl, s := range want {
+		if lvl.String() != s {
+			t.Errorf("%d.String() = %q, want %q", lvl, lvl.String(), s)
+		}
+	}
+}
+
+func TestRiskReportSortedAscending(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 10, 9)
+	u := p.Users[0]
+	rep, err := NewRiskReport(u, m.Catalog(), m.Population())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := rep.Entries()
+	if len(entries) != len(u.Interests) {
+		t.Fatalf("%d entries for %d interests", len(entries), len(u.Interests))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Audience < entries[i-1].Audience {
+			t.Fatal("entries not ascending by audience")
+		}
+	}
+}
+
+func TestRiskReportRemove(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 10, 10)
+	u := p.Users[1]
+	before := len(u.Interests)
+	rep, _ := NewRiskReport(u, m.Catalog(), m.Population())
+	target := rep.Entries()[0].Interest.ID
+	if err := rep.Remove(target); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Interests) != before-1 {
+		t.Fatalf("profile size %d, want %d", len(u.Interests), before-1)
+	}
+	if u.HasInterest(target) {
+		t.Fatal("interest still in profile")
+	}
+	if err := rep.Remove(target); err == nil {
+		t.Fatal("double-remove accepted")
+	}
+	if err := rep.Remove(interest.ID(math.MaxUint32)); err == nil {
+		t.Fatal("unknown interest accepted")
+	}
+	// The entry must remain visible but inactive (historic view).
+	found := false
+	for _, e := range rep.Entries() {
+		if e.Interest.ID == target {
+			found = true
+			if e.Active {
+				t.Fatal("removed entry still active")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("removed entry vanished from report")
+	}
+}
+
+func TestRemoveAllAtOrAbove(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 10, 11)
+	u := p.Users[2]
+	rep, _ := NewRiskReport(u, m.Catalog(), m.Population())
+	counts := rep.CountByLevel()
+	dangerous := counts[RiskHigh] + counts[RiskMedium]
+	removed := rep.RemoveAllAtOrAbove(RiskMedium)
+	if removed != dangerous {
+		t.Fatalf("removed %d, want %d", removed, dangerous)
+	}
+	after := rep.CountByLevel()
+	if after[RiskHigh] != 0 || after[RiskMedium] != 0 {
+		t.Fatalf("dangerous interests remain: %v", after)
+	}
+	if after[RiskNone] != counts[RiskNone] {
+		t.Fatal("green interests should be untouched")
+	}
+}
+
+func TestRiskReportRender(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 10, 12)
+	rep, _ := NewRiskReport(p.Users[3], m.Catalog(), m.Population())
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RISK") || !strings.Contains(out, "active") {
+		t.Fatalf("render output incomplete:\n%s", out)
+	}
+}
+
+func TestRiskReportValidation(t *testing.T) {
+	m := testModel(t)
+	if _, err := NewRiskReport(nil, m.Catalog(), 10); err == nil {
+		t.Error("nil user accepted")
+	}
+	u := &population.User{Interests: []interest.ID{0}}
+	if _, err := NewRiskReport(u, m.Catalog(), 0); err == nil {
+		t.Error("zero population accepted")
+	}
+	bad := &population.User{Interests: []interest.ID{math.MaxUint32}}
+	if _, err := NewRiskReport(bad, m.Catalog(), 10); err == nil {
+		t.Error("unknown interest accepted")
+	}
+}

@@ -1,0 +1,285 @@
+// Package fdvt simulates the FDVT browser extension (§2.2, §3, §6): the
+// 2,390-user research panel whose interest sets feed the uniqueness study,
+// and the privacy-risk interface that lets users inspect and delete their
+// rarest interests.
+//
+// Panel generation reproduces the paper's §3 dataset shape exactly:
+//
+//   - gender: 1,949 men, 347 women, 94 undisclosed;
+//   - age: 117 adolescents (13–19), 1,374 early adults (20–39),
+//     578 adults (40–64), 19 matures (65+), 302 undisclosed;
+//   - residence: the 80-country breakdown of Table 4 (Spain 1,131, ...);
+//   - interests per user: Fig 1 — min 1, median ≈426, max 8,950.
+//
+// Marginals are hit exactly (scaled with largest-remainder rounding for
+// non-default panel sizes) and paired independently at random, since the
+// paper does not publish the joint distribution.
+package fdvt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"nanotarget/internal/dist"
+	"nanotarget/internal/geo"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// PanelConfig controls panel generation.
+type PanelConfig struct {
+	// Model is the world the panel users live in. Required.
+	Model *population.Model
+	// Size is the panel size (paper: 2,390).
+	Size int
+	// ProfileMedian and ProfileSigma parametrize the log-normal of
+	// interests-per-user (Fig 1: median 426).
+	ProfileMedian float64
+	ProfileSigma  float64
+	// ProfileMin and ProfileMax clamp profile sizes (Fig 1: 1 and 8,950).
+	ProfileMin, ProfileMax float64
+	// RareMixture is the probability a user instead draws a very small
+	// profile (log-uniform on [ProfileMin, 60]), matching Fig 1's low tail.
+	RareMixture float64
+}
+
+// DefaultPanelConfig returns the paper-calibrated panel configuration.
+func DefaultPanelConfig(m *population.Model) PanelConfig {
+	return PanelConfig{
+		Model:         m,
+		Size:          2390,
+		ProfileMedian: 426,
+		ProfileSigma:  1.15,
+		ProfileMin:    1,
+		ProfileMax:    8950,
+		RareMixture:   0.05,
+	}
+}
+
+// Panel is a generated FDVT panel.
+type Panel struct {
+	Users []*population.User
+}
+
+// BuildPanel samples a panel per cfg. Deterministic in r.
+func BuildPanel(cfg PanelConfig, r *rng.Rand) (*Panel, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("fdvt: PanelConfig.Model is required")
+	}
+	if cfg.Size <= 0 {
+		return nil, errors.New("fdvt: panel size must be positive")
+	}
+	if cfg.ProfileMedian <= 0 || cfg.ProfileSigma <= 0 {
+		return nil, errors.New("fdvt: profile distribution parameters must be positive")
+	}
+	if cfg.ProfileMin < 1 || cfg.ProfileMax <= cfg.ProfileMin {
+		return nil, errors.New("fdvt: invalid profile bounds")
+	}
+
+	genders := genderColumn(cfg.Size)
+	ages := ageColumn(cfg.Size, r.Derive("ages"))
+	countries := countryColumn(cfg.Size)
+
+	shuffle := func(label string, n int, swap func(i, j int)) {
+		r.Derive(label).Shuffle(n, swap)
+	}
+	shuffle("shuffle/gender", len(genders), func(i, j int) { genders[i], genders[j] = genders[j], genders[i] })
+	shuffle("shuffle/age", len(ages), func(i, j int) { ages[i], ages[j] = ages[j], ages[i] })
+	shuffle("shuffle/country", len(countries), func(i, j int) { countries[i], countries[j] = countries[j], countries[i] })
+
+	ln, err := dist.NewLogNormalFromMedian(cfg.ProfileMedian, cfg.ProfileSigma)
+	if err != nil {
+		return nil, err
+	}
+	profileRand := r.Derive("profiles")
+	sampleRand := r.Derive("interests")
+
+	users := make([]*population.User, cfg.Size)
+	for i := 0; i < cfg.Size; i++ {
+		var target float64
+		if profileRand.Bool(cfg.RareMixture) {
+			// Log-uniform small profile for the CDF's low tail.
+			lo, hi := math.Log(cfg.ProfileMin), math.Log(60)
+			target = math.Exp(lo + profileRand.Float64()*(hi-lo))
+		} else {
+			target = ln.Sample(profileRand)
+		}
+		if target < cfg.ProfileMin {
+			target = cfg.ProfileMin
+		}
+		if target > cfg.ProfileMax {
+			target = cfg.ProfileMax
+		}
+		u := cfg.Model.PlantUser(int64(i), countries[i], genders[i], ages[i], target, sampleRand)
+		// A panel user with an empty profile is useless to the study (and
+		// impossible in the dataset: Fig 1 min is 1); guarantee at least one
+		// interest by planting the closest catalog interest to the target
+		// popularity mass.
+		if len(u.Interests) == 0 {
+			u.Interests = cfg.Model.FallbackInterest(u.Activity, u.Tilt)
+		}
+		users[i] = u
+	}
+	return &Panel{Users: users}, nil
+}
+
+// genderColumn reproduces the §3 gender marginal scaled to size.
+func genderColumn(size int) []population.Gender {
+	counts := apportion(size, []float64{1949, 347, 94})
+	out := make([]population.Gender, 0, size)
+	for i, g := range []population.Gender{population.GenderMale, population.GenderFemale, population.GenderUndisclosed} {
+		for k := 0; k < counts[i]; k++ {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ageColumn reproduces the §3 age marginal scaled to size; ages are drawn
+// uniformly within each Erikson band, 0 for undisclosed.
+func ageColumn(size int, r *rng.Rand) []int {
+	counts := apportion(size, []float64{117, 1374, 578, 19, 302})
+	bands := [][2]int{{13, 19}, {20, 39}, {40, 64}, {65, 85}, {0, 0}}
+	out := make([]int, 0, size)
+	for bi, band := range bands {
+		for k := 0; k < counts[bi]; k++ {
+			if band[0] == 0 {
+				out = append(out, 0)
+				continue
+			}
+			out = append(out, band[0]+r.Intn(band[1]-band[0]+1))
+		}
+	}
+	return out
+}
+
+// countryColumn reproduces Table 4 scaled to size.
+func countryColumn(size int) []string {
+	entries := geo.PanelBreakdown()
+	weights := make([]float64, len(entries))
+	for i, e := range entries {
+		weights[i] = float64(e.Count)
+	}
+	counts := apportion(size, weights)
+	out := make([]string, 0, size)
+	for i, e := range entries {
+		for k := 0; k < counts[i]; k++ {
+			out = append(out, e.Code)
+		}
+	}
+	return out
+}
+
+// apportion scales weights to integers summing exactly to total using the
+// largest-remainder method, so the paper's marginals are hit exactly at the
+// default size and proportionally otherwise.
+func apportion(total int, weights []float64) []int {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	counts := make([]int, len(weights))
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		counts[i] = int(math.Floor(exact))
+		assigned += counts[i]
+		fracs[i] = frac{idx: i, rem: exact - math.Floor(exact)}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for k := 0; assigned < total; k++ {
+		counts[fracs[k%len(fracs)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// Stats summarizes the panel the way §3 describes the dataset.
+type Stats struct {
+	Users            int
+	Men, Women       int
+	GenderUndeclared int
+	Adolescents      int
+	EarlyAdults      int
+	Adults           int
+	Matures          int
+	AgeUndeclared    int
+	Countries        int
+	TotalInterests   int64
+	UniqueInterests  int
+	MinProfile       int
+	MedianProfile    float64
+	MaxProfile       int
+}
+
+// Describe computes dataset statistics.
+func (p *Panel) Describe() Stats {
+	s := Stats{Users: len(p.Users)}
+	countries := map[string]bool{}
+	unique := map[int64]bool{}
+	sizes := make([]int, 0, len(p.Users))
+	for _, u := range p.Users {
+		switch u.Gender {
+		case population.GenderMale:
+			s.Men++
+		case population.GenderFemale:
+			s.Women++
+		default:
+			s.GenderUndeclared++
+		}
+		switch u.AgeGroup() {
+		case population.AgeAdolescence:
+			s.Adolescents++
+		case population.AgeEarlyAdulthood:
+			s.EarlyAdults++
+		case population.AgeAdulthood:
+			s.Adults++
+		case population.AgeMaturity:
+			s.Matures++
+		default:
+			s.AgeUndeclared++
+		}
+		countries[u.Country] = true
+		s.TotalInterests += int64(len(u.Interests))
+		for _, id := range u.Interests {
+			unique[int64(id)] = true
+		}
+		sizes = append(sizes, len(u.Interests))
+	}
+	s.Countries = len(countries)
+	s.UniqueInterests = len(unique)
+	sort.Ints(sizes)
+	if len(sizes) > 0 {
+		s.MinProfile = sizes[0]
+		s.MaxProfile = sizes[len(sizes)-1]
+		mid := len(sizes) / 2
+		if len(sizes)%2 == 1 {
+			s.MedianProfile = float64(sizes[mid])
+		} else {
+			s.MedianProfile = float64(sizes[mid-1]+sizes[mid]) / 2
+		}
+	}
+	return s
+}
+
+// String renders the stats like the dataset section of the paper.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"panel: %d users (%d men, %d women, %d undisclosed); ages: %d adolescents, %d early adults, %d adults, %d matures, %d undisclosed; %d countries; %d interest occurrences, %d unique; profile size min/median/max = %d/%.0f/%d",
+		s.Users, s.Men, s.Women, s.GenderUndeclared,
+		s.Adolescents, s.EarlyAdults, s.Adults, s.Matures, s.AgeUndeclared,
+		s.Countries, s.TotalInterests, s.UniqueInterests,
+		s.MinProfile, s.MedianProfile, s.MaxProfile)
+}

@@ -1,0 +1,66 @@
+package fdvt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nanotarget/internal/rng"
+)
+
+// Property: apportion always returns non-negative integers summing exactly
+// to the requested total, for any positive weight vector.
+func TestQuickApportion(t *testing.T) {
+	f := func(seed uint64, totalRaw uint16, nRaw uint8) bool {
+		total := int(totalRaw%5000) + 1
+		n := int(nRaw%20) + 1
+		r := rng.New(seed)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64()*100 + 0.01
+		}
+		counts := apportion(total, weights)
+		if len(counts) != n {
+			return false
+		}
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: apportion is proportional — a weight that dominates the vector
+// receives at least half of a sufficiently large total.
+func TestQuickApportionProportional(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		weights := []float64{100, r.Float64() * 10, r.Float64() * 10}
+		counts := apportion(1000, weights)
+		return counts[0] >= 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: risk classification is monotone — a larger audience never maps
+// to a more severe (numerically smaller) risk level.
+func TestQuickRiskMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return RiskFor(a) <= RiskFor(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

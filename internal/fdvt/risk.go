@@ -1,0 +1,197 @@
+package fdvt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+)
+
+// RiskLevel classifies how dangerous an interest is for its holder's
+// privacy, by worldwide audience size (§6): the smaller the audience, the
+// more identifying the interest.
+type RiskLevel uint8
+
+// Risk levels and their §6 color coding.
+const (
+	// RiskHigh (red): audience ≤ 10k users.
+	RiskHigh RiskLevel = iota
+	// RiskMedium (orange): 10k < audience ≤ 100k.
+	RiskMedium
+	// RiskLow (yellow): 100k < audience ≤ 1M.
+	RiskLow
+	// RiskNone (green): audience > 1M.
+	RiskNone
+)
+
+// String returns the color label the extension shows.
+func (l RiskLevel) String() string {
+	switch l {
+	case RiskHigh:
+		return "red"
+	case RiskMedium:
+		return "orange"
+	case RiskLow:
+		return "yellow"
+	default:
+		return "green"
+	}
+}
+
+// RiskThresholds are the §6 audience-size boundaries. They are variables,
+// not constants, because the paper notes the thresholds "can be easily
+// modified if other scientific works or experts recommend different values".
+var RiskThresholds = struct {
+	High, Medium, Low int64
+}{High: 10_000, Medium: 100_000, Low: 1_000_000}
+
+// RiskFor classifies an audience size.
+func RiskFor(audience int64) RiskLevel {
+	switch {
+	case audience <= RiskThresholds.High:
+		return RiskHigh
+	case audience <= RiskThresholds.Medium:
+		return RiskMedium
+	case audience <= RiskThresholds.Low:
+		return RiskLow
+	default:
+		return RiskNone
+	}
+}
+
+// RiskEntry is one row of the "Risks of my FB interests" view.
+type RiskEntry struct {
+	Interest interest.Interest
+	Audience int64
+	Level    RiskLevel
+	// Active is false once the user removed the interest (the extension
+	// keeps showing removed interests with historic info, §6).
+	Active bool
+}
+
+// RiskReport is the sorted per-user interest risk view, least popular first.
+type RiskReport struct {
+	user    *population.User
+	entries []RiskEntry
+	byID    map[interest.ID]int
+}
+
+// NewRiskReport builds the report for a user: each interest's audience size
+// is retrieved from the catalog at the given population scale and sorted
+// ascending (most dangerous first), as the extension displays it.
+func NewRiskReport(u *population.User, cat *interest.Catalog, pop int64) (*RiskReport, error) {
+	if u == nil || cat == nil {
+		return nil, errors.New("fdvt: user and catalog are required")
+	}
+	if pop <= 0 {
+		return nil, errors.New("fdvt: population must be positive")
+	}
+	rep := &RiskReport{user: u, byID: make(map[interest.ID]int, len(u.Interests))}
+	for _, id := range u.Interests {
+		in, err := cat.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("fdvt: profile references %v: %w", id, err)
+		}
+		aud := cat.AudienceSize(id, pop)
+		rep.entries = append(rep.entries, RiskEntry{
+			Interest: in,
+			Audience: aud,
+			Level:    RiskFor(aud),
+			Active:   true,
+		})
+	}
+	sort.Slice(rep.entries, func(a, b int) bool {
+		if rep.entries[a].Audience != rep.entries[b].Audience {
+			return rep.entries[a].Audience < rep.entries[b].Audience
+		}
+		return rep.entries[a].Interest.ID < rep.entries[b].Interest.ID
+	})
+	for i, e := range rep.entries {
+		rep.byID[e.Interest.ID] = i
+	}
+	return rep, nil
+}
+
+// Entries returns the rows, most dangerous first.
+func (r *RiskReport) Entries() []RiskEntry {
+	out := make([]RiskEntry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// CountByLevel tallies active interests per risk level.
+func (r *RiskReport) CountByLevel() map[RiskLevel]int {
+	out := map[RiskLevel]int{}
+	for _, e := range r.entries {
+		if e.Active {
+			out[e.Level]++
+		}
+	}
+	return out
+}
+
+// Remove deletes the interest from the user's profile (the one-click §6
+// action) and marks the entry inactive, preserving it for the historic view.
+func (r *RiskReport) Remove(id interest.ID) error {
+	i, ok := r.byID[id]
+	if !ok {
+		return fmt.Errorf("fdvt: interest %v not in this profile", id)
+	}
+	if !r.entries[i].Active {
+		return fmt.Errorf("fdvt: interest %v already removed", id)
+	}
+	r.entries[i].Active = false
+	// Remove from the live profile slice, preserving order.
+	ids := r.user.Interests
+	for j, have := range ids {
+		if have == id {
+			r.user.Interests = append(ids[:j], ids[j+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// RemoveAllAtOrAbove removes every active interest at or above the given
+// severity (RiskHigh removes only red; RiskMedium removes red+orange; ...).
+// Returns the number of interests removed.
+func (r *RiskReport) RemoveAllAtOrAbove(level RiskLevel) int {
+	n := 0
+	for _, e := range r.entries {
+		if e.Active && e.Level <= level {
+			if err := r.Remove(e.Interest.ID); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Render writes the Fig 7-style table: risk color, interest name, audience
+// size and status.
+func (r *RiskReport) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-45s %14s  %s\n", "RISK", "INTEREST", "AUDIENCE", "STATUS"); err != nil {
+		return err
+	}
+	for _, e := range r.entries {
+		status := "active"
+		if !e.Active {
+			status = "removed"
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-45s %14d  %s\n",
+			e.Level, truncate(e.Interest.Name, 45), e.Audience, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

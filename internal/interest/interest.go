@@ -1,0 +1,276 @@
+// Package interest models the Facebook interest (ad-preference) ecosystem:
+// a catalog of ~99k targetable interests with human-readable names, FB-style
+// categories, and a global popularity (audience share) for each.
+//
+// The popularity distribution is calibrated against the paper's Fig 2: the
+// audience sizes of the 98,982 unique interests held by the panel have
+// quartiles 113,193 / 418,530 / 1,719,925 within a 1.5B-user base, spanning
+// tens of users to hundreds of millions. A log-normal fitted through the
+// 25th/75th percentiles reproduces that curve; shares are truncated so no
+// interest covers more than MaxShare of the population and none falls below
+// one-in-population.
+package interest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nanotarget/internal/dist"
+	"nanotarget/internal/rng"
+)
+
+// ID identifies an interest within a catalog. IDs are dense in [0, Len).
+type ID uint32
+
+// Interest is one targetable ad preference.
+type Interest struct {
+	ID       ID
+	Name     string
+	Category string
+	// Share is the fraction of the modeled user base holding this interest
+	// (marginal audience share in (0, 1)).
+	Share float64
+}
+
+// Categories mirrors Facebook's top-level ad-preference categories.
+var Categories = []string{
+	"Business and industry",
+	"Education",
+	"Entertainment",
+	"Family and relationships",
+	"Fitness and wellness",
+	"Food and drink",
+	"Hobbies and activities",
+	"Lifestyle and culture",
+	"News and politics",
+	"People",
+	"Science and technology",
+	"Shopping and fashion",
+	"Sports and outdoors",
+	"Travel, places and events",
+	"Vehicles and transportation",
+}
+
+var nameStems = []string{
+	"Artisanal coffee", "Vintage synthesizers", "Trail running", "Astrophotography",
+	"Korean cinema", "Urban gardening", "Chess openings", "Fermentation",
+	"Mechanical keyboards", "Birdwatching", "Salsa dancing", "Home automation",
+	"Graphic novels", "Sourdough baking", "Freediving", "Typography",
+	"Bouldering", "Analog photography", "Tabletop roleplaying", "Beekeeping",
+	"Speedcubing", "Calligraphy", "Drone racing", "Kombucha brewing",
+	"Stand-up comedy", "Jazz fusion", "Marathon training", "Woodworking",
+	"Street food", "Retro gaming", "Open-source software", "Minimalism",
+	"Van life", "Indoor climbing", "Podcast production", "Letterpress printing",
+	"Orienteering", "Falconry", "Glassblowing", "Paragliding",
+	"Bonsai", "Quilting", "Archery", "Karaoke", "Origami", "Surf culture",
+	"Craft beer", "Electric vehicles", "Meditation", "Thrifting",
+}
+
+var nameModifiers = []string{
+	"Classic", "Modern", "Competitive", "Amateur", "Professional", "Nordic",
+	"Mediterranean", "Japanese", "Andean", "Alpine", "Coastal", "Urban",
+	"Rural", "Experimental", "Traditional", "Contemporary", "Vintage",
+	"Sustainable", "Artisan", "Digital", "Outdoor", "Indoor", "Regional",
+	"International", "Independent", "Underground", "Mainstream", "Seasonal",
+	"Historic", "Futuristic", "Community", "Family", "Solo", "Extreme",
+	"Casual", "Gourmet", "Budget", "Luxury", "Minimalist", "Collectors'",
+}
+
+// Catalog is an immutable set of interests with popularity lookup.
+type Catalog struct {
+	interests []Interest
+	byName    map[string]ID
+	// idsByShare holds interest IDs sorted by ascending share, used for
+	// popularity-weighted operations.
+	idsByShare []ID
+}
+
+// Config controls catalog generation.
+type Config struct {
+	// Size is the number of interests; the paper's dataset has 98,982.
+	Size int
+	// Population is the user base against which Share translates to an
+	// audience size (the paper's 1.5B for the 2017 dataset).
+	Population int64
+	// Quartile25 and Quartile75 are target audience sizes at the 25th/75th
+	// percentile of the catalog (Fig 2: 113,193 and 1,719,925).
+	Quartile25, Quartile75 float64
+	// MaxShare caps any single interest's share of the population.
+	MaxShare float64
+}
+
+// DefaultConfig returns the paper-calibrated catalog configuration.
+func DefaultConfig() Config {
+	return Config{
+		Size:       98_982,
+		Population: 1_500_000_000,
+		Quartile25: 113_193,
+		Quartile75: 1_719_925,
+		MaxShare:   0.20,
+	}
+}
+
+// Generate builds a catalog of cfg.Size interests with shares drawn from the
+// Fig-2-calibrated log-normal, deterministically from r.
+func Generate(cfg Config, r *rng.Rand) (*Catalog, error) {
+	if cfg.Size <= 0 {
+		return nil, errors.New("interest: catalog size must be positive")
+	}
+	if cfg.Population <= 0 {
+		return nil, errors.New("interest: population must be positive")
+	}
+	if cfg.MaxShare <= 0 || cfg.MaxShare > 1 {
+		return nil, errors.New("interest: MaxShare must be in (0,1]")
+	}
+	ln, err := dist.FitLogNormalQuantiles(cfg.Quartile25, 0.25, cfg.Quartile75, 0.75)
+	if err != nil {
+		return nil, fmt.Errorf("interest: calibrating popularity: %w", err)
+	}
+	pop := float64(cfg.Population)
+	tr := dist.Truncated{Base: ln, Lo: 2, Hi: cfg.MaxShare * pop}
+
+	c := &Catalog{
+		interests:  make([]Interest, cfg.Size),
+		byName:     make(map[string]ID, cfg.Size),
+		idsByShare: make([]ID, cfg.Size),
+	}
+	for i := 0; i < cfg.Size; i++ {
+		size := tr.Sample(r)
+		share := size / pop
+		id := ID(i)
+		name := makeName(i)
+		c.interests[i] = Interest{
+			ID:       id,
+			Name:     name,
+			Category: Categories[i%len(Categories)],
+			Share:    share,
+		}
+		c.byName[name] = id
+		c.idsByShare[i] = id
+	}
+	sort.Slice(c.idsByShare, func(a, b int) bool {
+		sa := c.interests[c.idsByShare[a]].Share
+		sb := c.interests[c.idsByShare[b]].Share
+		if sa != sb {
+			return sa < sb
+		}
+		return c.idsByShare[a] < c.idsByShare[b]
+	})
+	return c, nil
+}
+
+// makeName builds a unique, plausible interest name for index i.
+func makeName(i int) string {
+	stem := nameStems[i%len(nameStems)]
+	mod := nameModifiers[(i/len(nameStems))%len(nameModifiers)]
+	serial := i / (len(nameStems) * len(nameModifiers))
+	if serial == 0 {
+		return fmt.Sprintf("%s %s", mod, stem)
+	}
+	return fmt.Sprintf("%s %s (%d)", mod, stem, serial+1)
+}
+
+// Len returns the number of interests.
+func (c *Catalog) Len() int { return len(c.interests) }
+
+// Get returns the interest with the given ID.
+func (c *Catalog) Get(id ID) (Interest, error) {
+	if int(id) >= len(c.interests) {
+		return Interest{}, fmt.Errorf("interest: unknown id %d", id)
+	}
+	return c.interests[id], nil
+}
+
+// MustGet is Get for IDs known to be valid; it panics on unknown IDs.
+func (c *Catalog) MustGet(id ID) Interest {
+	in, err := c.Get(id)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// ByName finds an interest by exact name.
+func (c *Catalog) ByName(name string) (Interest, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return Interest{}, false
+	}
+	return c.interests[id], true
+}
+
+// Share returns the marginal audience share for id. Panics on unknown id.
+func (c *Catalog) Share(id ID) float64 { return c.interests[id].Share }
+
+// Shares returns the share of every interest indexed by ID.
+// The returned slice is owned by the catalog and must not be modified.
+func (c *Catalog) Shares() []float64 {
+	out := make([]float64, len(c.interests))
+	for i := range c.interests {
+		out[i] = c.interests[i].Share
+	}
+	return out
+}
+
+// AudienceSize converts an interest's share into an audience count for a
+// user base of pop users.
+func (c *Catalog) AudienceSize(id ID, pop int64) int64 {
+	return int64(c.interests[id].Share * float64(pop))
+}
+
+// RarestFirst returns interest IDs sorted by ascending share.
+// The returned slice is a copy.
+func (c *Catalog) RarestFirst() []ID {
+	out := make([]ID, len(c.idsByShare))
+	copy(out, c.idsByShare)
+	return out
+}
+
+// Search returns up to limit interests whose names contain the query
+// (case-sensitive substring match), mimicking the Ads Manager's
+// type=adinterest search endpoint.
+func (c *Catalog) Search(query string, limit int) []Interest {
+	if limit <= 0 {
+		limit = 25
+	}
+	var out []Interest
+	for i := range c.interests {
+		if containsFold(c.interests[i].Name, query) {
+			out = append(out, c.interests[i])
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// containsFold is a simple ASCII case-insensitive substring test.
+func containsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	if len(sub) > len(s) {
+		return false
+	}
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(sub); j++ {
+			if lower(s[i+j]) != lower(sub[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+package interest
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"nanotarget/internal/rng"
+	"nanotarget/internal/stats"
+)
+
+func testConfig(size int) Config {
+	cfg := DefaultConfig()
+	cfg.Size = size
+	return cfg
+}
+
+func TestGenerateBasics(t *testing.T) {
+	c, err := Generate(testConfig(5000), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		in := c.MustGet(ID(i))
+		if in.Share <= 0 || in.Share > 0.20000001 {
+			t.Fatalf("interest %d share out of range: %v", i, in.Share)
+		}
+		if in.Name == "" || in.Category == "" {
+			t.Fatalf("interest %d missing name/category", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(testConfig(500), rng.New(9))
+	b, _ := Generate(testConfig(500), rng.New(9))
+	for i := 0; i < a.Len(); i++ {
+		if a.MustGet(ID(i)) != b.MustGet(ID(i)) {
+			t.Fatal("catalog generation not deterministic")
+		}
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	c, _ := Generate(testConfig(20000), rng.New(2))
+	seen := make(map[string]bool, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		n := c.MustGet(ID(i)).Name
+		if seen[n] {
+			t.Fatalf("duplicate interest name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFig2QuartilesReproduced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Size = 40000 // enough for tight quartiles without full-size cost
+	c, err := Generate(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]float64, c.Len())
+	for i := range sizes {
+		sizes[i] = c.MustGet(ID(i)).Share * float64(cfg.Population)
+	}
+	qs, _ := stats.Quantiles(sizes, []float64{0.25, 0.5, 0.75})
+	// Paper: 113,193 / 418,530 / 1,719,925. Allow 15% sampling+truncation slack.
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"q25", qs[0], 113193},
+		{"q50", qs[1], 418530},
+		{"q75", qs[2], 1719925},
+	}
+	for _, ch := range checks {
+		if math.Abs(ch.got-ch.want)/ch.want > 0.15 {
+			t.Errorf("%s = %.0f, want within 15%% of %.0f", ch.name, ch.got, ch.want)
+		}
+	}
+}
+
+func TestSharesSpanBroadRange(t *testing.T) {
+	// Fig 2 spans ~1e2 .. ~1e8+ audience sizes.
+	cfg := DefaultConfig()
+	cfg.Size = 40000
+	c, _ := Generate(cfg, rng.New(4))
+	minSize, maxSize := math.Inf(1), 0.0
+	for i := 0; i < c.Len(); i++ {
+		s := c.MustGet(ID(i)).Share * float64(cfg.Population)
+		minSize = math.Min(minSize, s)
+		maxSize = math.Max(maxSize, s)
+	}
+	if minSize > 1000 {
+		t.Errorf("min audience %v too large; rare interests missing", minSize)
+	}
+	if maxSize < 5e7 {
+		t.Errorf("max audience %v too small; popular interests missing", maxSize)
+	}
+}
+
+func TestByNameRoundtrip(t *testing.T) {
+	c, _ := Generate(testConfig(1000), rng.New(5))
+	for i := 0; i < 100; i++ {
+		in := c.MustGet(ID(i))
+		got, ok := c.ByName(in.Name)
+		if !ok || got.ID != in.ID {
+			t.Fatalf("ByName(%q) failed", in.Name)
+		}
+	}
+	if _, ok := c.ByName("definitely not an interest"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	c, _ := Generate(testConfig(10), rng.New(6))
+	if _, err := c.Get(ID(10)); err == nil {
+		t.Fatal("out-of-range ID accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet should panic on bad ID")
+		}
+	}()
+	c.MustGet(ID(10))
+}
+
+func TestRarestFirstSorted(t *testing.T) {
+	c, _ := Generate(testConfig(2000), rng.New(7))
+	ids := c.RarestFirst()
+	if len(ids) != c.Len() {
+		t.Fatalf("RarestFirst length %d", len(ids))
+	}
+	if !sort.SliceIsSorted(ids, func(a, b int) bool {
+		return c.Share(ids[a]) < c.Share(ids[b])
+	}) {
+		// Ties may exist; verify non-strict ordering.
+		for i := 1; i < len(ids); i++ {
+			if c.Share(ids[i]) < c.Share(ids[i-1]) {
+				t.Fatal("RarestFirst not sorted by share")
+			}
+		}
+	}
+}
+
+func TestRarestFirstIsCopy(t *testing.T) {
+	c, _ := Generate(testConfig(100), rng.New(8))
+	a := c.RarestFirst()
+	a[0] = ID(99)
+	b := c.RarestFirst()
+	if b[0] == ID(99) && a[0] == b[0] && c.Share(b[0]) > c.Share(b[1]) {
+		t.Fatal("RarestFirst exposes internal slice")
+	}
+}
+
+func TestAudienceSize(t *testing.T) {
+	c, _ := Generate(testConfig(100), rng.New(9))
+	in := c.MustGet(0)
+	got := c.AudienceSize(0, 1_500_000_000)
+	want := int64(in.Share * 1.5e9)
+	if got != want {
+		t.Fatalf("AudienceSize = %d, want %d", got, want)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	c, _ := Generate(testConfig(3000), rng.New(10))
+	res := c.Search("coffee", 10)
+	if len(res) == 0 {
+		t.Fatal("expected some coffee interests")
+	}
+	if len(res) > 10 {
+		t.Fatalf("limit not honored: %d", len(res))
+	}
+	for _, in := range res {
+		if !containsFold(in.Name, "coffee") {
+			t.Fatalf("result %q does not match query", in.Name)
+		}
+	}
+	// Case-insensitive.
+	if len(c.Search("COFFEE", 5)) == 0 {
+		t.Fatal("search should be case-insensitive")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Size: 0, Population: 1, MaxShare: 0.5, Quartile25: 1, Quartile75: 2}, rng.New(1)); err == nil {
+		t.Error("zero size accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Population = 0
+	if _, err := Generate(cfg, rng.New(1)); err == nil {
+		t.Error("zero population accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxShare = 0
+	if _, err := Generate(cfg, rng.New(1)); err == nil {
+		t.Error("zero MaxShare accepted")
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	cfg := testConfig(10000)
+	for i := 0; i < b.N; i++ {
+		_, _ = Generate(cfg, rng.New(uint64(i)))
+	}
+}

@@ -1,0 +1,262 @@
+package population
+
+import (
+	"errors"
+
+	"nanotarget/internal/geo"
+)
+
+// Gender is a user's declared gender. Undisclosed models users who did not
+// share it (the paper's panel has 94 such users).
+type Gender uint8
+
+// Gender values.
+const (
+	GenderUndisclosed Gender = iota
+	GenderMale
+	GenderFemale
+)
+
+// String returns a human-readable gender label.
+func (g Gender) String() string {
+	switch g {
+	case GenderMale:
+		return "male"
+	case GenderFemale:
+		return "female"
+	default:
+		return "undisclosed"
+	}
+}
+
+// AgeGroup follows the Erikson life-cycle classification the paper adopts
+// (§3, Appendix C): Adolescence 13–19, Early Adulthood 20–39,
+// Adulthood 40–64, Maturity 65+.
+type AgeGroup uint8
+
+// AgeGroup values.
+const (
+	AgeUnknown AgeGroup = iota
+	AgeAdolescence
+	AgeEarlyAdulthood
+	AgeAdulthood
+	AgeMaturity
+)
+
+// String returns the paper's label for the group.
+func (a AgeGroup) String() string {
+	switch a {
+	case AgeAdolescence:
+		return "adolescence (13-19)"
+	case AgeEarlyAdulthood:
+		return "early adulthood (20-39)"
+	case AgeAdulthood:
+		return "adulthood (40-64)"
+	case AgeMaturity:
+		return "maturity (65+)"
+	default:
+		return "unknown"
+	}
+}
+
+// GroupForAge classifies an age in years; 0 (or negative) means unknown.
+func GroupForAge(age int) AgeGroup {
+	switch {
+	case age <= 0:
+		return AgeUnknown
+	case age <= 19:
+		return AgeAdolescence
+	case age <= 39:
+		return AgeEarlyAdulthood
+	case age <= 64:
+		return AgeAdulthood
+	default:
+		return AgeMaturity
+	}
+}
+
+// Demographics holds the population's marginal distributions plus the
+// popularity tilts that differentiate demographic groups' interest profiles.
+//
+// Tilts implement the paper's Appendix C observation that some groups are
+// harder to nanotarget with random interests (women ≈ +2 interests vs men,
+// adolescents ≈ +3 vs adults, Argentina ≈ +5 vs France): a positive tilt
+// biases a group's holdings toward popular interests, making its members
+// less unique. Tilts perturb only who holds what — global audience counts
+// remain governed by the calibrated marginal shares.
+type Demographics struct {
+	// MaleShare is the fraction of users declaring male among those who
+	// declare (population-level).
+	MaleShare float64
+	// AgeBands maps band edges to probability mass: list of (maxAge, mass)
+	// in ascending maxAge covering 13..99.
+	AgeBands []AgeBand
+	// GenderTilt, AgeTilt and CountryTilt shift interest popularity per
+	// group (see above). Missing keys mean tilt 0.
+	GenderTilt  map[Gender]float64
+	AgeTilt     map[AgeGroup]float64
+	CountryTilt map[string]float64
+}
+
+// AgeBand gives probability mass to ages in (prev.MaxAge, MaxAge].
+type AgeBand struct {
+	MaxAge int
+	Mass   float64
+}
+
+// DefaultDemographics returns FB-like marginals and the tilt settings that
+// reproduce the direction and rough magnitude of the paper's Appendix C
+// group differences.
+func DefaultDemographics() Demographics {
+	return Demographics{
+		MaleShare: 0.56,
+		AgeBands: []AgeBand{
+			{MaxAge: 19, Mass: 0.11},
+			{MaxAge: 29, Mass: 0.27},
+			{MaxAge: 39, Mass: 0.23},
+			{MaxAge: 49, Mass: 0.16},
+			{MaxAge: 64, Mass: 0.15},
+			{MaxAge: 99, Mass: 0.08},
+		},
+		GenderTilt: map[Gender]float64{
+			GenderFemale: 0.020,
+		},
+		AgeTilt: map[AgeGroup]float64{
+			AgeAdolescence: 0.030,
+		},
+		CountryTilt: map[string]float64{
+			"AR": 0.025,
+			"MX": 0.008,
+			"ES": 0.004,
+			"FR": -0.020,
+		},
+	}
+}
+
+func (d Demographics) isZero() bool {
+	return d.MaleShare == 0 && d.AgeBands == nil &&
+		d.GenderTilt == nil && d.AgeTilt == nil && d.CountryTilt == nil
+}
+
+// TiltFor composes the popularity tilt of a user's demographic coordinates.
+func (d Demographics) TiltFor(g Gender, ageGroup AgeGroup, country string) float64 {
+	return d.GenderTilt[g] + d.AgeTilt[ageGroup] + d.CountryTilt[country]
+}
+
+// demoModel precomputes population-level demographic shares.
+type demoModel struct {
+	d          Demographics
+	ageCum     []AgeBand // cumulative masses for sampling
+	ageTotal   float64
+	countries  []geo.Country
+	countryCum []float64
+	countryTot float64
+}
+
+func newDemoModel(d Demographics) (demoModel, error) {
+	if d.MaleShare < 0 || d.MaleShare > 1 {
+		return demoModel{}, errors.New("population: MaleShare out of [0,1]")
+	}
+	if len(d.AgeBands) == 0 {
+		return demoModel{}, errors.New("population: AgeBands required")
+	}
+	m := demoModel{d: d, countries: geo.Top50()}
+	run := 0.0
+	prevMax := 12
+	for _, b := range d.AgeBands {
+		if b.Mass < 0 || b.MaxAge <= prevMax {
+			return demoModel{}, errors.New("population: AgeBands must be ascending with non-negative mass")
+		}
+		run += b.Mass
+		m.ageCum = append(m.ageCum, AgeBand{MaxAge: b.MaxAge, Mass: run})
+		prevMax = b.MaxAge
+	}
+	m.ageTotal = run
+	var tot float64
+	for _, c := range m.countries {
+		tot += float64(c.FBUsers)
+		m.countryCum = append(m.countryCum, tot)
+	}
+	m.countryTot = tot
+	return m, nil
+}
+
+// genderShare returns the population share of a targeted gender set.
+// Undisclosed users are treated as targetable by any gender filter (FB
+// infers gender for ad delivery), so only explicit single-gender filters
+// narrow the audience.
+func (m demoModel) genderShare(genders []Gender) float64 {
+	if len(genders) == 0 {
+		return 1
+	}
+	share := 0.0
+	seenM, seenF := false, false
+	for _, g := range genders {
+		switch g {
+		case GenderMale:
+			if !seenM {
+				share += m.d.MaleShare
+				seenM = true
+			}
+		case GenderFemale:
+			if !seenF {
+				share += 1 - m.d.MaleShare
+				seenF = true
+			}
+		}
+	}
+	if share > 1 {
+		share = 1
+	}
+	if share == 0 {
+		return 1 // only undisclosed listed: no effective filter
+	}
+	return share
+}
+
+// ageShare returns the population share with age in [min, max] (inclusive).
+// Zero min/max mean unbounded on that side.
+func (m demoModel) ageShare(minAge, maxAge int) float64 {
+	if minAge <= 0 && maxAge <= 0 {
+		return 1
+	}
+	if minAge <= 0 {
+		minAge = 13
+	}
+	if maxAge <= 0 {
+		maxAge = 99
+	}
+	if maxAge < minAge {
+		return 0
+	}
+	share := 0.0
+	prevMax := 12
+	prevCum := 0.0
+	for _, b := range m.ageCum {
+		bandLo, bandHi := prevMax+1, b.MaxAge
+		mass := (b.Mass - prevCum) / m.ageTotal
+		overlapLo := maxInt(bandLo, minAge)
+		overlapHi := minInt(bandHi, maxAge)
+		if overlapHi >= overlapLo {
+			frac := float64(overlapHi-overlapLo+1) / float64(bandHi-bandLo+1)
+			share += mass * frac
+		}
+		prevMax = b.MaxAge
+		prevCum = b.Mass
+	}
+	return share
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package population
+
+import (
+	"math"
+
+	"nanotarget/internal/dist"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/rng"
+)
+
+// DemoFilter narrows an audience by demographic attributes, mirroring the
+// non-interest targeting attributes of the FB Ads Manager (§2.1). The zero
+// value matches everyone (worldwide, all genders, all ages).
+type DemoFilter struct {
+	// Countries holds ISO codes; empty (or containing geo.Worldwide) means
+	// no geographic restriction.
+	Countries []string
+	// Genders restricts by declared gender; empty means all.
+	Genders []Gender
+	// AgeMin and AgeMax bound age inclusively; zero means unbounded.
+	AgeMin, AgeMax int
+}
+
+// Share returns the fraction of the population matched by the filter,
+// assuming demographic attributes are independent of each other (a modeling
+// simplification documented in DESIGN.md).
+func (m *Model) DemoShare(f DemoFilter) float64 {
+	return m.geoPopulationShare(f.Countries) *
+		m.demo.genderShare(f.Genders) *
+		m.demo.ageShare(f.AgeMin, f.AgeMax)
+}
+
+// Query accumulates an interest conjunction and evaluates its audience share
+// incrementally. Adding an interest multiplies the per-grid-point survival
+// product, so building a 25-interest prefix costs 25 O(grid) updates —
+// this is what makes the uniqueness study's 120k audience evaluations cheap.
+//
+// A Query is not safe for concurrent use. Clone before branching.
+type Query struct {
+	m       *Model
+	partial []float64 // ∏ q(t_k, λ_i) over added interests, per grid point
+	n       int
+}
+
+// NewQuery starts an empty conjunction (matching everyone).
+func (m *Model) NewQuery() *Query {
+	q := &Query{m: m, partial: make([]float64, len(m.actT))}
+	for i := range q.partial {
+		q.partial[i] = 1
+	}
+	return q
+}
+
+// And narrows the conjunction with one more interest and returns the query.
+func (q *Query) And(id interest.ID) *Query {
+	lambda := q.m.lambda[id]
+	for k, t := range q.m.actT {
+		q.partial[k] *= 1 - math.Exp(-t*lambda)
+	}
+	q.n++
+	return q
+}
+
+// Len returns the number of interests in the conjunction.
+func (q *Query) Len() int { return q.n }
+
+// Share returns E_t[∏ q(t, λᵢ)], the fraction of the (unfiltered) user base
+// holding every interest added so far. An empty conjunction has share 1.
+func (q *Query) Share() float64 {
+	s := 0.0
+	for k, p := range q.m.actP {
+		s += p * q.partial[k]
+	}
+	return s
+}
+
+// Clone returns an independent copy of the query state.
+func (q *Query) Clone() *Query {
+	cp := &Query{m: q.m, partial: make([]float64, len(q.partial)), n: q.n}
+	copy(cp.partial, q.partial)
+	return cp
+}
+
+// ConjunctionShare evaluates the audience share of an interest set directly.
+func (m *Model) ConjunctionShare(ids []interest.ID) float64 {
+	q := m.NewQuery()
+	for _, id := range ids {
+		q.And(id)
+	}
+	return q.Share()
+}
+
+// UnionConjunctionShare evaluates Facebook's flexible_spec semantics: the
+// audience holds at least one interest from every clause (clauses are ANDed,
+// interests within a clause ORed). A single-interest clause degenerates to
+// ConjunctionShare behaviour.
+func (m *Model) UnionConjunctionShare(clauses [][]interest.ID) float64 {
+	s := 0.0
+	for k, t := range m.actT {
+		prod := 1.0
+		for _, clause := range clauses {
+			miss := 1.0
+			for _, id := range clause {
+				miss *= math.Exp(-t * m.lambda[id])
+			}
+			prod *= 1 - miss
+			if prod == 0 {
+				break
+			}
+		}
+		s += m.actP[k] * prod
+	}
+	return s
+}
+
+// ExpectedAudience returns the model-expected number of users matching the
+// demographic filter AND holding every interest in ids.
+func (m *Model) ExpectedAudience(f DemoFilter, ids []interest.ID) float64 {
+	return float64(m.pop) * m.DemoShare(f) * m.ConjunctionShare(ids)
+}
+
+// ExpectedAudienceConditional returns the expected audience size of the
+// conjunction given that one known user (the combination's owner) holds all
+// the interests: 1 + (Pop·demoShare − 1)·p. This is the right expectation
+// for the uniqueness study, where every queried combination comes from a
+// real profile (§4.1).
+func (m *Model) ExpectedAudienceConditional(f DemoFilter, ids []interest.ID) float64 {
+	base := float64(m.pop)*m.DemoShare(f) - 1
+	if base < 0 {
+		base = 0
+	}
+	return 1 + base*m.ConjunctionShare(ids)
+}
+
+// RealizeAudience draws a concrete audience size for a campaign whose
+// targeting matches expected share p within a filtered base of n users,
+// conditioned on the targeted user matching: 1 + Binomial(n−1, p).
+// This is the delivery-time counterpart of ExpectedAudienceConditional —
+// "reached exactly 1 user" is a random event, as in the paper's Table 2.
+func (m *Model) RealizeAudience(f DemoFilter, ids []interest.ID, r *rng.Rand) int64 {
+	n := int64(float64(m.pop) * m.DemoShare(f))
+	if n < 1 {
+		n = 1
+	}
+	p := m.ConjunctionShare(ids)
+	return 1 + dist.Binomial(r, n-1, p)
+}

@@ -1,0 +1,107 @@
+package population
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/rng"
+)
+
+func TestUnionConjunctionShareBounds(t *testing.T) {
+	m := testModel(t, 30)
+	a, b := interest.ID(5), interest.ID(123)
+	sa, sb := m.MarginalShare(a), m.MarginalShare(b)
+	union := m.UnionConjunctionShare([][]interest.ID{{a, b}})
+	if union < math.Max(sa, sb)-1e-12 {
+		t.Fatalf("union %v below max marginal %v", union, math.Max(sa, sb))
+	}
+	if union > sa+sb+1e-12 {
+		t.Fatalf("union %v above sum %v", union, sa+sb)
+	}
+	// Degenerate single-interest clause equals the conjunction path.
+	single := m.UnionConjunctionShare([][]interest.ID{{a}})
+	if math.Abs(single-m.ConjunctionShare([]interest.ID{a})) > 1e-15 {
+		t.Fatalf("single-clause union %v != conjunction %v", single, m.ConjunctionShare([]interest.ID{a}))
+	}
+}
+
+func TestUnionConjunctionShareEmptyClauses(t *testing.T) {
+	m := testModel(t, 31)
+	if got := m.UnionConjunctionShare(nil); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("empty spec share = %v, want 1", got)
+	}
+}
+
+// Property: AND-of-unions is monotone — adding a clause never increases the
+// share; adding an interest to a clause never decreases it.
+func TestQuickUnionMonotonicity(t *testing.T) {
+	m := testModel(t, 32)
+	n := m.Catalog().Len()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := interest.ID(r.Intn(n))
+		b := interest.ID(r.Intn(n))
+		c := interest.ID(r.Intn(n))
+		oneClause := m.UnionConjunctionShare([][]interest.ID{{a, b}})
+		twoClauses := m.UnionConjunctionShare([][]interest.ID{{a, b}, {c}})
+		if twoClauses > oneClause+1e-12 {
+			return false
+		}
+		narrow := m.UnionConjunctionShare([][]interest.ID{{a}})
+		wide := m.UnionConjunctionShare([][]interest.ID{{a, b}})
+		return wide >= narrow-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conjunction share is invariant to interest order.
+func TestQuickConjunctionOrderInvariance(t *testing.T) {
+	m := testModel(t, 33)
+	n := m.Catalog().Len()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ids := make([]interest.ID, 5)
+		for i := range ids {
+			ids[i] = interest.ID(r.Intn(n))
+		}
+		forward := m.ConjunctionShare(ids)
+		reversed := make([]interest.ID, len(ids))
+		for i, id := range ids {
+			reversed[len(ids)-1-i] = id
+		}
+		backward := m.ConjunctionShare(reversed)
+		return math.Abs(forward-backward) <= 1e-15*(1+forward)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ExpectedAudienceConditional >= 1 and >= unconditional expected
+// audience truncated below 1.
+func TestQuickConditionalAudienceBounds(t *testing.T) {
+	m := testModel(t, 34)
+	n := m.Catalog().Len()
+	f := func(seed uint64, k uint8) bool {
+		r := rng.New(seed)
+		count := int(k%10) + 1
+		ids := make([]interest.ID, count)
+		for i := range ids {
+			ids[i] = interest.ID(r.Intn(n))
+		}
+		cond := m.ExpectedAudienceConditional(DemoFilter{}, ids)
+		if cond < 1 {
+			return false
+		}
+		uncond := m.ExpectedAudience(DemoFilter{}, ids)
+		// cond = 1 + (pop-1)p, uncond = pop·p: they differ by (1-p) >= 0.
+		return cond >= uncond-1e-9*(1+uncond) || uncond < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

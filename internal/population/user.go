@@ -1,0 +1,183 @@
+package population
+
+import (
+	"math"
+	"sort"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/rng"
+)
+
+// User is one concrete simulated Facebook user.
+type User struct {
+	// ID is unique within the generating process.
+	ID int64
+	// Country is the ISO code of the user's residence.
+	Country string
+	// Gender may be GenderUndisclosed.
+	Gender Gender
+	// Age in years; 0 means undisclosed.
+	Age int
+	// Activity is the latent activity level t the profile was sampled at.
+	Activity float64
+	// Tilt is the popularity tilt used when sampling the profile.
+	Tilt float64
+	// Interests is the user's ad-preference set, in catalog-ID order.
+	Interests []interest.ID
+}
+
+// AgeGroup classifies the user's age per the Erikson bands.
+func (u *User) AgeGroup() AgeGroup { return GroupForAge(u.Age) }
+
+// HasInterest reports whether the profile contains id
+// (binary search; Interests is kept sorted).
+func (u *User) HasInterest(id interest.ID) bool {
+	i := sort.Search(len(u.Interests), func(i int) bool { return u.Interests[i] >= id })
+	return i < len(u.Interests) && u.Interests[i] == id
+}
+
+// InterestsByPopularity returns the profile sorted by ascending audience
+// share (rarest first), using the catalog for shares. The receiver is not
+// modified.
+func (u *User) InterestsByPopularity(cat *interest.Catalog) []interest.ID {
+	out := make([]interest.ID, len(u.Interests))
+	copy(out, u.Interests)
+	sort.Slice(out, func(a, b int) bool {
+		sa, sb := cat.Share(out[a]), cat.Share(out[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// SampleInterests draws a concrete profile for a user with activity t and
+// popularity tilt beta: each catalog interest is held independently with
+// probability 1 − exp(−t·λ'ᵢ). The result is sorted by catalog ID.
+//
+// A fast path avoids exp() for the overwhelmingly common tiny-rate case
+// (1 − exp(−x) ≈ x for x < 1e-3, relative error < 0.05%).
+func (m *Model) SampleInterests(t, beta float64, r *rng.Rand) []interest.ID {
+	n := len(m.lambda)
+	var out []interest.ID
+	var tilted []float64
+	if beta != 0 {
+		tilted = m.tiltedRates(beta)
+	}
+	for i := 0; i < n; i++ {
+		lam := m.lambda[i]
+		if tilted != nil {
+			lam = tilted[i]
+		}
+		x := t * lam
+		var hold bool
+		if x < 1e-3 {
+			hold = r.Float64() < x
+		} else {
+			hold = r.Float64() < 1-math.Exp(-x)
+		}
+		if hold {
+			out = append(out, interest.ID(i))
+		}
+	}
+	return out
+}
+
+// tiltedRates caches λ' vectors per tilt (small number of distinct tilts).
+func (m *Model) tiltedRates(beta float64) []float64 {
+	if m.tiltedRateCache == nil {
+		m.tiltedRateCache = make(map[float64][]float64)
+	}
+	if v, ok := m.tiltedRateCache[beta]; ok {
+		return v
+	}
+	v := make([]float64, len(m.lambda))
+	for i := range m.lambda {
+		v[i] = m.tiltedLambda(i, beta)
+	}
+	m.tiltedRateCache[beta] = v
+	return v
+}
+
+// SampleUser draws a random population user: demographics from the
+// population marginals, activity from LogNormal(0, σ), profile via
+// SampleInterests with the group's tilt.
+func (m *Model) SampleUser(id int64, r *rng.Rand) *User {
+	country := m.sampleCountry(r)
+	gender := m.sampleGender(r)
+	age := m.sampleAge(r)
+	tilt := m.cfg.Demographics.TiltFor(gender, GroupForAge(age), country)
+	t := m.SampleActivity(r)
+	return &User{
+		ID:        id,
+		Country:   country,
+		Gender:    gender,
+		Age:       age,
+		Activity:  t,
+		Tilt:      tilt,
+		Interests: m.SampleInterests(t, tilt, r),
+	}
+}
+
+// PlantUser creates a user with the given demographics whose expected
+// profile size is targetCount: the activity level is chosen by inverting the
+// model's n(t) curve under the group's tilt. This is how FDVT panel users
+// are generated so their profile sizes follow the paper's Fig 1.
+func (m *Model) PlantUser(id int64, country string, gender Gender, age int, targetCount float64, r *rng.Rand) *User {
+	tilt := m.cfg.Demographics.TiltFor(gender, GroupForAge(age), country)
+	t := m.ActivityForCount(targetCount, tilt)
+	return &User{
+		ID:        id,
+		Country:   country,
+		Gender:    gender,
+		Age:       age,
+		Activity:  t,
+		Tilt:      tilt,
+		Interests: m.SampleInterests(t, tilt, r),
+	}
+}
+
+// FallbackInterest returns a one-interest profile for the rare case where
+// Bernoulli sampling of a minimum-size profile comes up empty (the dataset's
+// Fig 1 minimum is 1 interest, never 0). It deterministically picks the
+// interest the user is most likely to hold under their tilt.
+func (m *Model) FallbackInterest(t, beta float64) []interest.ID {
+	best, bestRate := 0, -1.0
+	for i := range m.lambda {
+		rate := m.tiltedLambda(i, beta)
+		if rate > bestRate {
+			best, bestRate = i, rate
+		}
+	}
+	return []interest.ID{interest.ID(best)}
+}
+
+func (m *Model) sampleCountry(r *rng.Rand) string {
+	u := r.Float64() * m.demo.countryTot
+	i := sort.SearchFloat64s(m.demo.countryCum, u)
+	if i >= len(m.demo.countries) {
+		i = len(m.demo.countries) - 1
+	}
+	return m.demo.countries[i].Code
+}
+
+func (m *Model) sampleGender(r *rng.Rand) Gender {
+	if r.Float64() < m.demo.d.MaleShare {
+		return GenderMale
+	}
+	return GenderFemale
+}
+
+func (m *Model) sampleAge(r *rng.Rand) int {
+	u := r.Float64() * m.demo.ageTotal
+	prevMax := 12
+	for _, b := range m.demo.ageCum {
+		if u <= b.Mass {
+			lo, hi := prevMax+1, b.MaxAge
+			return lo + r.Intn(hi-lo+1)
+		}
+		prevMax = b.MaxAge
+	}
+	return 99
+}

@@ -1,0 +1,222 @@
+// Package report renders the reproduction's tables and figure data: aligned
+// ASCII tables for terminals, Markdown tables for EXPERIMENTS.md, and CSV
+// series for figures (CDFs, VAS curves and fits).
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are rejected.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Headers) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers))
+	}
+	t.rows = append(t.rows, cells)
+	return nil
+}
+
+// MustAddRow is AddRow for static row shapes; it panics on arity mismatch.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as GitHub-flavored Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named (x, y) data series for a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// NewSeries validates lengths.
+func NewSeries(name string, x, y []float64) (Series, error) {
+	if len(x) != len(y) {
+		return Series{}, errors.New("report: series length mismatch")
+	}
+	return Series{Name: name, X: x, Y: y}, nil
+}
+
+// WriteCSV emits one or more series as long-format CSV
+// (series,x,y) — the regenerable data behind a figure.
+func WriteCSV(w io.Writer, series ...Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if err := cw.Write([]string{
+				s.Name,
+				formatFloat(s.X[i]),
+				formatFloat(s.Y[i]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// AsciiPlot renders a crude log-log scatter of series into a text grid —
+// enough to eyeball the VAS curves' shape in a terminal.
+func AsciiPlot(w io.Writer, width, height int, series ...Series) error {
+	if width < 16 || height < 8 {
+		return errors.New("report: plot too small")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX >= maxX || minY > maxY {
+		return errors.New("report: nothing to plot")
+	}
+	if minY == maxY {
+		maxY = minY * 10
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@'}
+	lx := func(v float64) float64 { return math.Log10(v) }
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((lx(s.X[i]) - lx(minX)) / (lx(maxX) - lx(minX)) * float64(width-1))
+			row := int((lx(s.Y[i]) - lx(minY)) / (lx(maxY) - lx(minY)) * float64(height-1))
+			row = height - 1 - row
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%c = %s  ", marks[si%len(marks)], s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\ny: %.3g .. %.3g (log)\n", minY, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "x: %.3g .. %.3g (log)\n", minX, maxX)
+	return err
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tab := NewTable("Table 1", "sel", "P", "N_P")
+	tab.MustAddRow("LP", "0.90", "4.16")
+	tab.MustAddRow("R", "0.90", "22.21")
+	var buf bytes.Buffer
+	if err := tab.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "sel", "N_P", "22.21", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.MustAddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Fatalf("markdown malformed:\n%s", out)
+	}
+}
+
+func TestTableArity(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	if err := tab.AddRow("only-one"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddRow should panic")
+		}
+	}()
+	tab.MustAddRow("x")
+}
+
+func TestNumRows(t *testing.T) {
+	tab := NewTable("", "a")
+	if tab.NumRows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tab.MustAddRow("1")
+	if tab.NumRows() != 1 {
+		t.Fatal("row not counted")
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	if _, err := NewSeries("s", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	s, err := NewSeries("s", []float64{1, 2}, []float64{3, 4})
+	if err != nil || s.Name != "s" {
+		t.Fatalf("valid series rejected: %v", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a, _ := NewSeries("vas50", []float64{1, 2}, []float64{100, 50})
+	b, _ := NewSeries("vas90", []float64{1}, []float64{2.5})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 3 rows
+		t.Fatalf("%d records", len(records))
+	}
+	if records[0][0] != "series" || records[1][0] != "vas50" || records[3][2] != "2.5" {
+		t.Fatalf("csv content: %v", records)
+	}
+	if records[1][1] != "1" {
+		t.Fatalf("integer x should render without decimals: %v", records[1])
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s, _ := NewSeries("vas", []float64{1, 2, 4, 8, 16}, []float64{1e6, 1e4, 1e3, 100, 20})
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, 40, 10, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "vas") {
+		t.Fatalf("plot missing data:\n%s", out)
+	}
+}
+
+func TestAsciiPlotErrors(t *testing.T) {
+	s, _ := NewSeries("s", []float64{1}, []float64{1})
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, 4, 2, s); err == nil {
+		t.Fatal("tiny plot accepted")
+	}
+	empty, _ := NewSeries("e", nil, nil)
+	if err := AsciiPlot(&buf, 40, 10, empty); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}

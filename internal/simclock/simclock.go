@@ -1,0 +1,202 @@
+// Package simclock provides simulated time for the campaign-delivery engine.
+//
+// The paper's nanotargeting experiment ran on wall-clock schedules (four CET
+// windows totalling 33 active hours, §5.1); reproducing it requires a clock
+// that the delivery simulator can drive deterministically, plus schedule
+// arithmetic ("how much active time elapsed between launch and this
+// impression?" — the TFI metric counts only active windows).
+package simclock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Clock abstracts time for components that must run identically under
+// simulation and wall clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// SimClock is a manually advanced clock. The zero value starts at the zero
+// time; construct with NewSim to pick an epoch.
+type SimClock struct {
+	now time.Time
+}
+
+// NewSim returns a simulated clock starting at start.
+func NewSim(start time.Time) *SimClock { return &SimClock{now: start} }
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d (panics on negative d: simulated time
+// never rewinds).
+func (c *SimClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simclock: cannot advance backwards")
+	}
+	c.now = c.now.Add(d)
+}
+
+// Set jumps to an absolute instant, which must not precede the current time.
+func (c *SimClock) Set(t time.Time) {
+	if t.Before(c.now) {
+		panic("simclock: cannot set clock backwards")
+	}
+	c.now = t
+}
+
+// Window is one active campaign interval [Start, End).
+type Window struct {
+	Start, End time.Time
+}
+
+// Duration returns the window length.
+func (w Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// Contains reports whether t lies in [Start, End).
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Schedule is an ordered, non-overlapping set of active windows.
+type Schedule struct {
+	windows []Window
+}
+
+// NewSchedule validates and orders the windows.
+func NewSchedule(windows ...Window) (*Schedule, error) {
+	if len(windows) == 0 {
+		return nil, errors.New("simclock: schedule needs at least one window")
+	}
+	ws := make([]Window, len(windows))
+	copy(ws, windows)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start.Before(ws[j].Start) })
+	for i, w := range ws {
+		if !w.End.After(w.Start) {
+			return nil, fmt.Errorf("simclock: window %d is empty or inverted", i)
+		}
+		if i > 0 && w.Start.Before(ws[i-1].End) {
+			return nil, fmt.Errorf("simclock: window %d overlaps its predecessor", i)
+		}
+	}
+	return &Schedule{windows: ws}, nil
+}
+
+// Windows returns a copy of the ordered windows.
+func (s *Schedule) Windows() []Window {
+	out := make([]Window, len(s.windows))
+	copy(out, s.windows)
+	return out
+}
+
+// TotalActive returns the summed window durations (the paper's schedule
+// totals 33 hours).
+func (s *Schedule) TotalActive() time.Duration {
+	var sum time.Duration
+	for _, w := range s.windows {
+		sum += w.Duration()
+	}
+	return sum
+}
+
+// Start returns the first window's start; End the last window's end.
+func (s *Schedule) Start() time.Time { return s.windows[0].Start }
+
+// End returns the end of the final window.
+func (s *Schedule) End() time.Time { return s.windows[len(s.windows)-1].End }
+
+// Active reports whether t falls inside any window.
+func (s *Schedule) Active(t time.Time) bool {
+	for _, w := range s.windows {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveBetween returns the portion of [from, to) that overlaps the
+// schedule's windows. This implements the paper's TFI convention: "we only
+// consider the periods when the campaign was active".
+func (s *Schedule) ActiveBetween(from, to time.Time) time.Duration {
+	if !to.After(from) {
+		return 0
+	}
+	var sum time.Duration
+	for _, w := range s.windows {
+		lo, hi := w.Start, w.End
+		if lo.Before(from) {
+			lo = from
+		}
+		if hi.After(to) {
+			hi = to
+		}
+		if hi.After(lo) {
+			sum += hi.Sub(lo)
+		}
+	}
+	return sum
+}
+
+// AtActiveOffset maps an active-time offset (duration of in-window time
+// since the schedule start) back to the absolute instant at which it
+// occurs. Offsets beyond the schedule map to the schedule end.
+func (s *Schedule) AtActiveOffset(offset time.Duration) time.Time {
+	if offset < 0 {
+		offset = 0
+	}
+	for _, w := range s.windows {
+		if offset < w.Duration() {
+			return w.Start.Add(offset)
+		}
+		offset -= w.Duration()
+	}
+	return s.End()
+}
+
+// CET is the timezone of the paper's campaign schedule.
+var CET = time.FixedZone("CET", 1*60*60)
+
+// PaperSchedule returns the §5.1 Success Group schedule: Thu Oct 29 2020
+// 19–21h, Fri Oct 30 9–21h, Mon Nov 2 9–21h, Tue Nov 3 9–16h (CET),
+// totalling 33 hours.
+func PaperSchedule() *Schedule {
+	mk := func(year int, month time.Month, day, fromH, toH int) Window {
+		return Window{
+			Start: time.Date(year, month, day, fromH, 0, 0, 0, CET),
+			End:   time.Date(year, month, day, toH, 0, 0, 0, CET),
+		}
+	}
+	s, err := NewSchedule(
+		mk(2020, time.October, 29, 19, 21),
+		mk(2020, time.October, 30, 9, 21),
+		mk(2020, time.November, 2, 9, 21),
+		mk(2020, time.November, 3, 9, 16),
+	)
+	if err != nil {
+		panic(err) // static windows; cannot fail
+	}
+	return s
+}
+
+// PaperFailureSchedule returns the Failure Group schedule: identical hours
+// and weekdays one week later (§5.1).
+func PaperFailureSchedule() *Schedule {
+	base := PaperSchedule()
+	shifted := make([]Window, 0, len(base.windows))
+	for _, w := range base.windows {
+		shifted = append(shifted, Window{
+			Start: w.Start.AddDate(0, 0, 7),
+			End:   w.End.AddDate(0, 0, 7),
+		})
+	}
+	s, err := NewSchedule(shifted...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

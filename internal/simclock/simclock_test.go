@@ -1,0 +1,163 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimClockAdvance(t *testing.T) {
+	start := time.Date(2020, 10, 29, 19, 0, 0, 0, CET)
+	c := NewSim(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("clock did not start at epoch")
+	}
+	c.Advance(90 * time.Minute)
+	if got := c.Now(); !got.Equal(start.Add(90 * time.Minute)) {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestSimClockPanicsBackwards(t *testing.T) {
+	c := NewSim(time.Now())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance should panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestSimClockSet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewSim(start)
+	c.Set(start.Add(time.Hour))
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Fatal("Set failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards should panic")
+		}
+	}()
+	c.Set(start)
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	if _, err := NewSchedule(); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewSchedule(Window{Start: t0, End: t0}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := NewSchedule(
+		Window{Start: t0, End: t0.Add(2 * time.Hour)},
+		Window{Start: t0.Add(time.Hour), End: t0.Add(3 * time.Hour)},
+	); err == nil {
+		t.Error("overlapping windows accepted")
+	}
+}
+
+func TestScheduleOrdersWindows(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	s, err := NewSchedule(
+		Window{Start: t0.Add(5 * time.Hour), End: t0.Add(6 * time.Hour)},
+		Window{Start: t0, End: t0.Add(time.Hour)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := s.Windows()
+	if !ws[0].Start.Equal(t0) {
+		t.Fatal("windows not sorted")
+	}
+	if !s.Start().Equal(t0) || !s.End().Equal(t0.Add(6*time.Hour)) {
+		t.Fatal("Start/End wrong")
+	}
+}
+
+func TestPaperScheduleTotals33Hours(t *testing.T) {
+	s := PaperSchedule()
+	if got := s.TotalActive(); got != 33*time.Hour {
+		t.Fatalf("paper schedule = %v, want 33h", got)
+	}
+	if len(s.Windows()) != 4 {
+		t.Fatalf("want 4 windows, got %d", len(s.Windows()))
+	}
+}
+
+func TestPaperFailureScheduleShifted(t *testing.T) {
+	a, b := PaperSchedule(), PaperFailureSchedule()
+	if b.TotalActive() != a.TotalActive() {
+		t.Fatal("failure schedule duration differs")
+	}
+	if got := b.Start().Sub(a.Start()); got != 7*24*time.Hour {
+		t.Fatalf("failure schedule offset = %v, want 168h", got)
+	}
+}
+
+func TestActive(t *testing.T) {
+	s := PaperSchedule()
+	inside := time.Date(2020, 10, 30, 12, 0, 0, 0, CET)
+	outside := time.Date(2020, 10, 31, 12, 0, 0, 0, CET)
+	if !s.Active(inside) {
+		t.Error("Oct 30 noon should be active")
+	}
+	if s.Active(outside) {
+		t.Error("Oct 31 should be inactive")
+	}
+	// Boundary: end is exclusive.
+	endOfFirst := time.Date(2020, 10, 29, 21, 0, 0, 0, CET)
+	if s.Active(endOfFirst) {
+		t.Error("window end should be exclusive")
+	}
+}
+
+func TestActiveBetween(t *testing.T) {
+	s := PaperSchedule()
+	// From campaign start to Oct 30 10:00 CET: 2h (Oct 29 19-21) + 1h.
+	from := s.Start()
+	to := time.Date(2020, 10, 30, 10, 0, 0, 0, CET)
+	if got := s.ActiveBetween(from, to); got != 3*time.Hour {
+		t.Fatalf("ActiveBetween = %v, want 3h", got)
+	}
+	// Inverted range is zero.
+	if got := s.ActiveBetween(to, from); got != 0 {
+		t.Fatalf("inverted range = %v", got)
+	}
+	// Whole experiment: 33h.
+	if got := s.ActiveBetween(s.Start(), s.End()); got != 33*time.Hour {
+		t.Fatalf("full range = %v", got)
+	}
+}
+
+func TestAtActiveOffset(t *testing.T) {
+	s := PaperSchedule()
+	cases := []struct {
+		offset time.Duration
+		want   time.Time
+	}{
+		{0, time.Date(2020, 10, 29, 19, 0, 0, 0, CET)},
+		{time.Hour, time.Date(2020, 10, 29, 20, 0, 0, 0, CET)},
+		{2 * time.Hour, time.Date(2020, 10, 30, 9, 0, 0, 0, CET)}, // rolls into window 2
+		{14 * time.Hour, time.Date(2020, 11, 2, 9, 0, 0, 0, CET)}, // window 3
+		{40 * time.Hour, s.End()},                                 // beyond schedule
+		{-time.Hour, s.Start()},                                   // clamped
+	}
+	for _, c := range cases {
+		if got := s.AtActiveOffset(c.offset); !got.Equal(c.want) {
+			t.Errorf("AtActiveOffset(%v) = %v, want %v", c.offset, got, c.want)
+		}
+	}
+}
+
+func TestOffsetRoundtrip(t *testing.T) {
+	s := PaperSchedule()
+	for _, off := range []time.Duration{0, time.Minute, 5 * time.Hour, 20 * time.Hour, 32 * time.Hour} {
+		at := s.AtActiveOffset(off)
+		back := s.ActiveBetween(s.Start(), at)
+		if back != off {
+			t.Errorf("roundtrip %v -> %v", off, back)
+		}
+	}
+}

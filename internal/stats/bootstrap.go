@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+
+	"nanotarget/internal/rng"
+)
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// Bootstrap draws iters resamples (with replacement) of indices [0, n) and
+// applies stat to each resample's index set, returning the statistic values.
+// The statistic receives a reusable index slice; it must not retain it.
+//
+// This mirrors the paper's procedure: "we repeat the data aggregation and
+// model fit in 10,000 bootstrap samples" over the 2,390 panel users.
+// Resamples on which stat reports an error are skipped (rare degenerate
+// resamples, e.g. a constant-x fit); at least one success is required.
+func Bootstrap(n, iters int, r *rng.Rand, stat func(idx []int) (float64, error)) ([]float64, error) {
+	if n <= 0 {
+		return nil, ErrEmpty
+	}
+	if iters <= 0 {
+		return nil, errors.New("stats: bootstrap needs positive iteration count")
+	}
+	idx := make([]int, n)
+	out := make([]float64, 0, iters)
+	for it := 0; it < iters; it++ {
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		v, err := stat(idx)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("stats: all bootstrap resamples failed")
+	}
+	return out, nil
+}
+
+// PercentileCI returns the percentile bootstrap confidence interval at the
+// given level (e.g. 0.95) from a slice of bootstrap statistic values.
+func PercentileCI(boot []float64, level float64) (CI, error) {
+	if len(boot) == 0 {
+		return CI{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, errors.New("stats: CI level must be in (0,1)")
+	}
+	sorted := make([]float64, len(boot))
+	copy(sorted, boot)
+	sort.Float64s(sorted)
+	alpha := (1 - level) / 2
+	return CI{
+		Lo:    QuantileSorted(sorted, alpha),
+		Hi:    QuantileSorted(sorted, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// BootstrapCI composes Bootstrap and PercentileCI and also returns the point
+// cloud so callers can inspect the bootstrap distribution.
+func BootstrapCI(n, iters int, level float64, r *rng.Rand, stat func(idx []int) (float64, error)) (CI, []float64, error) {
+	boot, err := Bootstrap(n, iters, r, stat)
+	if err != nil {
+		return CI{}, nil, err
+	}
+	ci, err := PercentileCI(boot, level)
+	if err != nil {
+		return CI{}, nil, err
+	}
+	return ci, boot, nil
+}
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// Width returns Hi − Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }

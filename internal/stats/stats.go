@@ -1,0 +1,303 @@
+// Package stats provides the descriptive and inferential statistics used by
+// the uniqueness model: quantiles, empirical CDFs, ordinary least squares
+// with R², and a bootstrap engine for confidence intervals.
+//
+// The paper's estimator (§4.1) is built from exactly these pieces: per-N
+// audience-size quantiles AS(Q,N), a log–log OLS fit of the quantile vector
+// VAS(Q), and 10,000 bootstrap resamples of the panel for 95% CIs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Quantile returns the q-th quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics (Hyndman–Fan type 7, the default of
+// R and NumPy). xs need not be sorted. It panics if q is outside [0,1] and
+// returns an error for empty input.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		panic("stats: quantile probability out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q), nil
+}
+
+// QuantileSorted is Quantile for data already sorted ascending.
+// It panics on empty input or q outside [0,1].
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile probability out of [0,1]")
+	}
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: QuantileSorted on empty sample")
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles evaluates several probabilities against one sorted copy of xs.
+func Quantiles(xs []float64, qs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = QuantileSorted(sorted, q)
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n−1) sample variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Summary is a compact five-number-plus description of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, StdDev  float64
+	P25, P50, P75 float64
+	P90, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	mean, _ := Mean(xs)
+	sd := 0.0
+	if len(xs) > 1 {
+		sd, _ = StdDev(xs)
+	}
+	return Summary{
+		N:      len(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: sd,
+		P25:    QuantileSorted(sorted, 0.25),
+		P50:    QuantileSorted(sorted, 0.50),
+		P75:    QuantileSorted(sorted, 0.75),
+		P90:    QuantileSorted(sorted, 0.90),
+		P95:    QuantileSorted(sorted, 0.95),
+		P99:    QuantileSorted(sorted, 0.99),
+	}, nil
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied, then sorted).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P(X <= x), the fraction of observations at or below x.
+func (e *ECDF) At(x float64) float64 {
+	// First index with sorted[i] > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// InverseAt returns the q-th quantile of the sample.
+func (e *ECDF) InverseAt(q float64) float64 { return QuantileSorted(e.sorted, q) }
+
+// Len returns the number of observations.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Points returns up to n (x, F(x)) pairs suitable for plotting the CDF.
+// If n <= 0 or n >= Len(), one point per observation is returned.
+type Point struct{ X, Y float64 }
+
+// Points samples the ECDF into n plot points.
+func (e *ECDF) Points(n int) []Point {
+	total := len(e.sorted)
+	if n <= 0 || n > total {
+		n = total
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (total - 1) / maxInt(n-1, 1)
+		pts = append(pts, Point{X: e.sorted[idx], Y: float64(idx+1) / float64(total)})
+	}
+	return pts
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LinearFit is the result of an ordinary least squares fit y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// FitLine performs OLS on the paired samples. It returns an error when fewer
+// than two distinct x values are present (the slope would be undefined).
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: FitLine length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, errors.New("stats: FitLine needs at least 2 points")
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: FitLine with constant x")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := 0; i < n; i++ {
+			res := ys[i] - (slope*xs[i] + intercept)
+			ssRes += res * res
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// At evaluates the fitted line at x.
+func (f LinearFit) At(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// Histogram bins xs into nbins equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram builds an equal-width histogram. Values exactly at Max fall in
+// the last bucket.
+func NewHistogram(xs []float64, nbins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if nbins <= 0 {
+		return nil, errors.New("stats: histogram needs positive bin count")
+	}
+	min, max, _ := MinMax(xs)
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, nbins), Total: len(xs)}
+	width := (max - min) / float64(nbins)
+	for _, x := range xs {
+		var b int
+		if width == 0 {
+			b = 0
+		} else {
+			b = int((x - min) / width)
+			if b >= nbins {
+				b = nbins - 1
+			}
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}

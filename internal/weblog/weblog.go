@@ -1,0 +1,190 @@
+// Package weblog implements the experiment's landing-page web server
+// (§2.3, §5.1): each ad creative links to a distinct landing path on the
+// researchers' server; a click creates a log entry recording the campaign
+// (targeted user and interest count) and a timestamp. IP addresses are
+// pseudonymized with a keyed HMAC-SHA256 before storage, exactly as the
+// paper describes, so unique-device counts can be reported (the
+// parenthesized numbers in Table 2's Clicks column) without retaining PII.
+package weblog
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nanotarget/internal/simclock"
+)
+
+// ClickRecord is one pseudonymized click log entry.
+type ClickRecord struct {
+	// CampaignID identifies the ad campaign whose creative was clicked.
+	CampaignID string
+	// PseudonymizedIP is hex(HMAC-SHA256(key, ip)); the raw IP is never
+	// stored.
+	PseudonymizedIP string
+	// At is the click timestamp.
+	At time.Time
+}
+
+// Logger stores pseudonymized click records. Safe for concurrent use.
+type Logger struct {
+	key   []byte
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	records []ClickRecord
+}
+
+// NewLogger creates a click logger with the given secret HMAC key. The key
+// must be non-empty: pseudonymization with an empty key would be trivially
+// reversible by dictionary attack over the IPv4 space.
+func NewLogger(secret []byte, clock simclock.Clock) (*Logger, error) {
+	if len(secret) < 16 {
+		return nil, errors.New("weblog: secret key must be at least 16 bytes")
+	}
+	if clock == nil {
+		return nil, errors.New("weblog: clock is required")
+	}
+	return &Logger{key: append([]byte(nil), secret...), clock: clock}, nil
+}
+
+// Pseudonymize returns the hex HMAC of an IP (or any device identifier).
+func (l *Logger) Pseudonymize(ip string) string {
+	mac := hmac.New(sha256.New, l.key)
+	mac.Write([]byte(ip))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// LogClick records a click on campaignID's landing page from ip.
+func (l *Logger) LogClick(campaignID, ip string) ClickRecord {
+	rec := ClickRecord{
+		CampaignID:      campaignID,
+		PseudonymizedIP: l.Pseudonymize(ip),
+		At:              l.clock.Now(),
+	}
+	l.mu.Lock()
+	l.records = append(l.records, rec)
+	l.mu.Unlock()
+	return rec
+}
+
+// Records returns a copy of all click records in arrival order.
+func (l *Logger) Records() []ClickRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]ClickRecord, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Clicks returns the number of clicks for a campaign.
+func (l *Logger) Clicks(campaignID string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, r := range l.records {
+		if r.CampaignID == campaignID {
+			n++
+		}
+	}
+	return n
+}
+
+// UniqueIPs returns the number of distinct pseudonymized IPs that clicked a
+// campaign's ad — the paper's upper bound on the number of distinct users
+// (Table 2, parenthesized).
+func (l *Logger) UniqueIPs(campaignID string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := map[string]bool{}
+	for _, r := range l.records {
+		if r.CampaignID == campaignID {
+			seen[r.PseudonymizedIP] = true
+		}
+	}
+	return len(seen)
+}
+
+// CampaignIDs returns the campaigns with at least one click, sorted.
+func (l *Logger) CampaignIDs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	set := map[string]bool{}
+	for _, r := range l.records {
+		set[r.CampaignID] = true
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Server serves the landing pages over HTTP: GET /l/{campaign} logs a click
+// and renders a minimal FDVT-promo landing page (the ads promoted the FDVT
+// extension, §2.3).
+type Server struct {
+	logger *Logger
+	mux    *http.ServeMux
+}
+
+// NewServer builds the landing-page server around a Logger.
+func NewServer(logger *Logger) (*Server, error) {
+	if logger == nil {
+		return nil, errors.New("weblog: logger is required")
+	}
+	s := &Server{logger: logger}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /l/{campaign}", s.handleLanding)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleLanding logs the click and serves the landing page.
+func (s *Server) handleLanding(w http.ResponseWriter, r *http.Request) {
+	campaign := r.PathValue("campaign")
+	if campaign == "" {
+		http.NotFound(w, r)
+		return
+	}
+	ip := clientIP(r)
+	s.logger.LogClick(campaign, ip)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!doctype html><title>FDVT</title>
+<h1>FDVT: Data Valuation Tool for Facebook Users</h1>
+<p>Thanks for your interest in the FDVT browser extension.</p>
+<!-- campaign %s -->
+`, campaign)
+}
+
+// clientIP extracts the caller address, honoring X-Forwarded-For from a
+// fronting proxy (first hop) and falling back to the socket peer.
+func clientIP(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		parts := strings.Split(xff, ",")
+		return strings.TrimSpace(parts[0])
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// LandingPath returns the landing URL path for a campaign creative.
+func LandingPath(campaignID string) string { return "/l/" + campaignID }

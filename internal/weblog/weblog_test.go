@@ -1,0 +1,202 @@
+package weblog
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nanotarget/internal/simclock"
+)
+
+var secret = []byte("0123456789abcdef0123456789abcdef")
+
+func newLogger(t *testing.T) (*Logger, *simclock.SimClock) {
+	t.Helper()
+	clock := simclock.NewSim(time.Date(2020, 10, 29, 19, 0, 0, 0, simclock.CET))
+	l, err := NewLogger(secret, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, clock
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	clock := simclock.NewSim(time.Unix(0, 0))
+	if _, err := NewLogger([]byte("short"), clock); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewLogger(secret, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestPseudonymizeDeterministicAndKeyed(t *testing.T) {
+	l, _ := newLogger(t)
+	a := l.Pseudonymize("203.0.113.9")
+	b := l.Pseudonymize("203.0.113.9")
+	if a != b {
+		t.Fatal("pseudonymization not deterministic")
+	}
+	if a == "203.0.113.9" || len(a) != 64 {
+		t.Fatalf("unexpected pseudonym %q", a)
+	}
+	// A different key must produce different pseudonyms.
+	other, _ := NewLogger([]byte("ffffffffffffffffffffffffffffffff"), simclock.NewSim(time.Unix(0, 0)))
+	if other.Pseudonymize("203.0.113.9") == a {
+		t.Fatal("pseudonym independent of key")
+	}
+	// Different IPs must not collide.
+	if l.Pseudonymize("203.0.113.10") == a {
+		t.Fatal("distinct IPs collided")
+	}
+}
+
+func TestLogClickAndCounts(t *testing.T) {
+	l, clock := newLogger(t)
+	l.LogClick("c1", "10.0.0.1")
+	clock.Advance(time.Minute)
+	l.LogClick("c1", "10.0.0.1") // same device again
+	l.LogClick("c1", "10.0.0.2")
+	l.LogClick("c2", "10.0.0.3")
+
+	if got := l.Clicks("c1"); got != 3 {
+		t.Fatalf("c1 clicks = %d", got)
+	}
+	if got := l.UniqueIPs("c1"); got != 2 {
+		t.Fatalf("c1 unique IPs = %d", got)
+	}
+	if got := l.Clicks("c2"); got != 1 {
+		t.Fatalf("c2 clicks = %d", got)
+	}
+	if got := l.Clicks("unknown"); got != 0 {
+		t.Fatalf("unknown campaign clicks = %d", got)
+	}
+	ids := l.CampaignIDs()
+	if len(ids) != 2 || ids[0] != "c1" || ids[1] != "c2" {
+		t.Fatalf("campaign ids = %v", ids)
+	}
+	recs := l.Records()
+	if len(recs) != 4 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if !recs[1].At.After(recs[0].At) {
+		t.Fatal("timestamps not advancing")
+	}
+	for _, r := range recs {
+		if strings.Contains(r.PseudonymizedIP, "10.0.0") {
+			t.Fatal("raw IP leaked into record")
+		}
+	}
+}
+
+func TestServerLandingLogsClick(t *testing.T) {
+	l, _ := newLogger(t)
+	srv, err := NewServer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + LandingPath("user3-n12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := l.Clicks("user3-n12"); got != 1 {
+		t.Fatalf("clicks = %d", got)
+	}
+}
+
+func TestServerXForwardedFor(t *testing.T) {
+	l, _ := newLogger(t)
+	srv, _ := NewServer(l)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+LandingPath("cX"), nil)
+	req.Header.Set("X-Forwarded-For", "198.51.100.7, 10.0.0.1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	recs := l.Records()
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].PseudonymizedIP != l.Pseudonymize("198.51.100.7") {
+		t.Fatal("X-Forwarded-For first hop not used")
+	}
+}
+
+func TestServerHealthAndNotFound(t *testing.T) {
+	l, _ := newLogger(t)
+	srv, _ := NewServer(l)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", resp.StatusCode)
+	}
+	if len(l.Records()) != 0 {
+		t.Fatal("non-landing requests must not log clicks")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil logger accepted")
+	}
+}
+
+// Property: pseudonymization is injective in practice (no collisions across
+// a generated IP set) and never echoes its input.
+func TestQuickPseudonymize(t *testing.T) {
+	l, _ := newLogger(t)
+	seen := map[string]string{}
+	f := func(a, b, c, d uint8) bool {
+		ip := fmt.Sprintf("%d.%d.%d.%d", a, b, c, d)
+		p := l.Pseudonymize(ip)
+		if p == ip {
+			return false
+		}
+		if prev, ok := seen[p]; ok && prev != ip {
+			return false // collision
+		}
+		seen[p] = ip
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPseudonymize(b *testing.B) {
+	clock := simclock.NewSim(time.Unix(0, 0))
+	l, _ := NewLogger(secret, clock)
+	for i := 0; i < b.N; i++ {
+		_ = l.Pseudonymize("203.0.113.9")
+	}
+}

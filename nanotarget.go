@@ -1,0 +1,484 @@
+// Package nanotarget reproduces "Unique on Facebook: Formulation and
+// Evidence of (Nano)targeting Individual Users with non-PII Data"
+// (González-Cabañas et al., ACM IMC 2021) as a self-contained simulation
+// library.
+//
+// The package is the public facade over the repository's substrates
+// (synthetic Facebook-scale population, interest ecosystem, Marketing-API
+// simulator, FDVT panel, campaign delivery engine). A World bundles a
+// calibrated population model and a research panel; its methods reproduce
+// the paper's analyses:
+//
+//   - EstimateUniqueness — the §4 model: how many interests (least popular
+//     or random) make a user unique with probability P (Table 1, Figs 3–5);
+//   - RunNanotargeting — the §5 experiment: nested random-interest
+//     campaigns against consenting targets, validated with the paper's
+//     three success conditions (Table 2);
+//   - InterestRisk / RemoveRiskyInterests — the §6 FDVT defense;
+//   - EvaluatePolicies — the §8.3 platform countermeasures.
+//
+// Everything is deterministic under a fixed seed. See DESIGN.md for the
+// modeling substitutions and EXPERIMENTS.md for paper-vs-measured results.
+package nanotarget
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"nanotarget/internal/core"
+	"nanotarget/internal/fdvt"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// World is a calibrated synthetic Facebook with a research panel.
+type World struct {
+	model *population.Model
+	panel *fdvt.Panel
+	root  *rng.Rand
+}
+
+type config struct {
+	seed          uint64
+	catalogSize   int
+	population    int64
+	activitySigma float64
+	gridSize      int
+	panelSize     int
+	profileMedian float64
+}
+
+// Option customizes world construction.
+type Option func(*config)
+
+// WithSeed fixes the master seed (default 1). Identical seeds produce
+// bit-identical worlds, panels, studies and experiments.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithCatalogSize sets the number of interests (default 98,982, the paper's
+// dataset). Smaller catalogs build faster but shift uniqueness downward.
+func WithCatalogSize(n int) Option { return func(c *config) { c.catalogSize = n } }
+
+// WithPopulation sets the modeled user-base size (default 1.5e9, the
+// paper's 2017 top-50-country base; the 2020 experiment used 2.8e9).
+func WithPopulation(n int64) Option { return func(c *config) { c.population = n } }
+
+// WithActivitySigma overrides the calibrated activity spread.
+func WithActivitySigma(sigma float64) Option { return func(c *config) { c.activitySigma = sigma } }
+
+// WithActivityGrid sets the quadrature resolution (default 512).
+func WithActivityGrid(n int) Option { return func(c *config) { c.gridSize = n } }
+
+// WithPanelSize sets the FDVT panel size (default 2,390).
+func WithPanelSize(n int) Option { return func(c *config) { c.panelSize = n } }
+
+// WithProfileMedian sets the median interests-per-panel-user (default 426).
+// Scale this down together with WithCatalogSize for fast demo worlds.
+func WithProfileMedian(m float64) Option { return func(c *config) { c.profileMedian = m } }
+
+// NewWorld builds a calibrated world and panel. With default options this
+// reproduces the paper's full-scale setting (≈5s of construction); examples
+// use smaller options.
+func NewWorld(opts ...Option) (*World, error) {
+	cfg := config{
+		seed:          1,
+		catalogSize:   98_982,
+		population:    1_500_000_000,
+		activitySigma: 0, // 0 = package default
+		gridSize:      512,
+		panelSize:     2390,
+		profileMedian: 426,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	root := rng.New(cfg.seed)
+
+	icfg := interest.DefaultConfig()
+	icfg.Size = cfg.catalogSize
+	icfg.Population = cfg.population
+	cat, err := interest.Generate(icfg, root.Derive("catalog"))
+	if err != nil {
+		return nil, fmt.Errorf("nanotarget: building catalog: %w", err)
+	}
+
+	pcfg := population.DefaultConfig(cat)
+	pcfg.Population = cfg.population
+	if cfg.activitySigma > 0 {
+		pcfg.ActivitySigma = cfg.activitySigma
+	}
+	pcfg.ActivityGridSize = cfg.gridSize
+	model, err := population.NewModel(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("nanotarget: building population model: %w", err)
+	}
+
+	fcfg := fdvt.DefaultPanelConfig(model)
+	fcfg.Size = cfg.panelSize
+	fcfg.ProfileMedian = cfg.profileMedian
+	// Profiles cannot exceed the catalog; keep the clamp meaningful for
+	// small demo catalogs.
+	if fcfg.ProfileMax > float64(cat.Len()) {
+		fcfg.ProfileMax = float64(cat.Len())
+	}
+	panel, err := fdvt.BuildPanel(fcfg, root.Derive("panel"))
+	if err != nil {
+		return nil, fmt.Errorf("nanotarget: building panel: %w", err)
+	}
+	return &World{model: model, panel: panel, root: root}, nil
+}
+
+// PanelSize returns the number of panel users.
+func (w *World) PanelSize() int { return len(w.panel.Users) }
+
+// Population returns the modeled user-base size.
+func (w *World) Population() int64 { return w.model.Population() }
+
+// CatalogSize returns the number of interests in the ecosystem.
+func (w *World) CatalogSize() int { return w.model.Catalog().Len() }
+
+// DescribePanel renders the §3-style dataset summary.
+func (w *World) DescribePanel() string { return w.panel.Describe().String() }
+
+// Model exposes the underlying population model for advanced, in-module use
+// (cmd tools and benchmarks); library consumers should prefer the World
+// methods.
+func (w *World) Model() *population.Model { return w.model }
+
+// PanelUsers exposes the panel for advanced, in-module use.
+func (w *World) PanelUsers() []*population.User { return w.panel.Users }
+
+// InterestInfo describes one catalog interest.
+type InterestInfo struct {
+	Name     string
+	Category string
+	// AudienceSize is the worldwide audience (users holding the interest).
+	AudienceSize int64
+}
+
+// SearchInterests finds interests by (case-insensitive) name substring.
+func (w *World) SearchInterests(query string, limit int) []InterestInfo {
+	var out []InterestInfo
+	for _, in := range w.model.Catalog().Search(query, limit) {
+		out = append(out, InterestInfo{
+			Name:         in.Name,
+			Category:     in.Category,
+			AudienceSize: w.model.Catalog().AudienceSize(in.ID, w.model.Population()),
+		})
+	}
+	return out
+}
+
+// PotentialReach returns the floored Potential Reach of an interest
+// conjunction given by display names, like an Ads-Manager query.
+func (w *World) PotentialReach(interestNames []string) (int64, error) {
+	ids, err := w.resolve(interestNames)
+	if err != nil {
+		return 0, err
+	}
+	src := core.NewModelSource(w.model)
+	return src.PotentialReach(ids)
+}
+
+// RandomInterestsOf simulates attacker knowledge: n interests of panel user
+// `panelIndex`, drawn uniformly from their profile. Deterministic per
+// (world seed, panelIndex, n, draw).
+func (w *World) RandomInterestsOf(panelIndex, n int, draw uint64) ([]string, error) {
+	u, err := w.panelUser(panelIndex)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > len(u.Interests) {
+		return nil, fmt.Errorf("nanotarget: user %d has %d interests; cannot draw %d",
+			panelIndex, len(u.Interests), n)
+	}
+	r := w.root.Derive(fmt.Sprintf("known/%d/%d/%d", panelIndex, n, draw))
+	ids := core.Random{}.Select(u, w.model.Catalog(), n, r)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = w.model.Catalog().MustGet(id).Name
+	}
+	return names, nil
+}
+
+func (w *World) panelUser(i int) (*population.User, error) {
+	if i < 0 || i >= len(w.panel.Users) {
+		return nil, fmt.Errorf("nanotarget: panel index %d out of range [0,%d)", i, len(w.panel.Users))
+	}
+	return w.panel.Users[i], nil
+}
+
+func (w *World) resolve(names []string) ([]interest.ID, error) {
+	ids := make([]interest.ID, 0, len(names))
+	for _, n := range names {
+		in, ok := w.model.Catalog().ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("nanotarget: unknown interest %q", n)
+		}
+		ids = append(ids, in.ID)
+	}
+	return ids, nil
+}
+
+// --- Uniqueness study (§4) ---
+
+// UniquenessOptions configures EstimateUniqueness.
+type UniquenessOptions struct {
+	// Ps are the uniqueness probabilities (default: 0.5, 0.8, 0.9, 0.95).
+	Ps []float64
+	// BootstrapIters per estimate (default 1000; the paper used 10,000 —
+	// pass that for publication-grade CIs).
+	BootstrapIters int
+	// Strategies to evaluate: "LP", "R" (default both) and optionally "MP".
+	Strategies []string
+}
+
+// UniquenessEstimate is one row of Table 1.
+type UniquenessEstimate struct {
+	// Strategy is "LP" (least popular) or "R" (random).
+	Strategy string
+	// P is the uniqueness probability.
+	P float64
+	// NP is the estimated number of interests for uniqueness.
+	NP float64
+	// CILo and CIHi bound the 95% bootstrap confidence interval.
+	CILo, CIHi float64
+	// R2 is the goodness of the log–log fit.
+	R2 float64
+}
+
+// VASPoint is one point of a VAS(Q) curve (Figs 3–5).
+type VASPoint struct {
+	// N is the number of interests in the conjunction.
+	N int
+	// AudienceSize is AS(Q,N), the per-N audience-size quantile.
+	AudienceSize float64
+}
+
+// UniquenessStudy holds the estimates and the underlying curves.
+type UniquenessStudy struct {
+	rows    []UniquenessEstimate
+	samples map[string]*core.Samples
+}
+
+// Estimates returns the Table 1 rows.
+func (s *UniquenessStudy) Estimates() []UniquenessEstimate {
+	out := make([]UniquenessEstimate, len(s.rows))
+	copy(out, s.rows)
+	return out
+}
+
+// Estimate returns the row for a strategy and P.
+func (s *UniquenessStudy) Estimate(strategy string, p float64) (UniquenessEstimate, error) {
+	for _, r := range s.rows {
+		if r.Strategy == strategy && math.Abs(r.P-p) < 1e-9 {
+			return r, nil
+		}
+	}
+	return UniquenessEstimate{}, fmt.Errorf("nanotarget: no estimate for %s P=%v", strategy, p)
+}
+
+// VAS returns the VAS(Q) curve for a strategy at quantile q (q = P).
+func (s *UniquenessStudy) VAS(strategy string, q float64) ([]VASPoint, error) {
+	samples, ok := s.samples[strategy]
+	if !ok {
+		return nil, fmt.Errorf("nanotarget: strategy %q not in study", strategy)
+	}
+	vas := samples.VAS(q)
+	out := make([]VASPoint, 0, len(vas))
+	for i, v := range vas {
+		if math.IsNaN(v) {
+			break
+		}
+		out = append(out, VASPoint{N: i + 1, AudienceSize: v})
+	}
+	return out, nil
+}
+
+// EstimateUniqueness runs the §4 study on the world's panel.
+func (w *World) EstimateUniqueness(opts UniquenessOptions) (*UniquenessStudy, error) {
+	if len(opts.Ps) == 0 {
+		opts.Ps = []float64{0.5, 0.8, 0.9, 0.95}
+	}
+	if opts.BootstrapIters <= 0 {
+		opts.BootstrapIters = 1000
+	}
+	if len(opts.Strategies) == 0 {
+		opts.Strategies = []string{"LP", "R"}
+	}
+	var selectors []core.Selector
+	for _, s := range opts.Strategies {
+		switch s {
+		case "LP":
+			selectors = append(selectors, core.LeastPopular{})
+		case "R":
+			selectors = append(selectors, core.Random{})
+		case "MP":
+			selectors = append(selectors, core.MostPopular{})
+		default:
+			return nil, fmt.Errorf("nanotarget: unknown strategy %q", s)
+		}
+	}
+	cfg := core.StudyConfig{
+		Ps:             opts.Ps,
+		Selectors:      selectors,
+		MaxN:           core.MaxCombinationInterests,
+		BootstrapIters: opts.BootstrapIters,
+		CILevel:        0.95,
+		Rand:           w.root.Derive("uniqueness"),
+	}
+	res, err := core.RunStudy(w.panel.Users, core.NewModelSource(w.model), cfg)
+	if err != nil {
+		return nil, err
+	}
+	study := &UniquenessStudy{samples: res.Samples}
+	for _, row := range res.Rows {
+		e := row.Estimate
+		study.rows = append(study.rows, UniquenessEstimate{
+			Strategy: row.Strategy,
+			P:        e.P,
+			NP:       e.NP,
+			CILo:     e.CI.Lo,
+			CIHi:     e.CI.Hi,
+			R2:       e.R2,
+		})
+	}
+	return study, nil
+}
+
+// GroupUniqueness runs the Appendix C demographic analysis at probability p
+// (the paper uses 0.9) and returns one estimate per (group, strategy).
+type GroupEstimate struct {
+	Group    string
+	Strategy string
+	Users    int
+	Estimate UniquenessEstimate
+}
+
+// Grouping selects the demographic dimension of the Appendix C analysis.
+type Grouping int
+
+// Supported groupings (Figs 8, 9 and 10).
+const (
+	ByGender Grouping = iota
+	ByAge
+	ByCountry
+)
+
+// GroupUniqueness estimates N_P per demographic group.
+func (w *World) GroupUniqueness(g Grouping, p float64, bootstrapIters int) ([]GroupEstimate, error) {
+	var groups []core.GroupFilter
+	switch g {
+	case ByGender:
+		groups = core.GenderGroups()
+	case ByAge:
+		groups = core.AgeGroups()
+	case ByCountry:
+		groups = core.CountryGroups()
+	default:
+		return nil, errors.New("nanotarget: unknown grouping")
+	}
+	if bootstrapIters <= 0 {
+		bootstrapIters = 500
+	}
+	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewModelSource(w.model),
+		groups, []core.Selector{core.LeastPopular{}, core.Random{}}, p,
+		bootstrapIters, w.root.Derive("groups"))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupEstimate, 0, len(res))
+	for _, r := range res {
+		out = append(out, GroupEstimate{
+			Group:    r.Label,
+			Strategy: r.Strategy,
+			Users:    r.Users,
+			Estimate: UniquenessEstimate{
+				Strategy: r.Strategy,
+				P:        r.Estimate.P,
+				NP:       r.Estimate.NP,
+				CILo:     r.Estimate.CI.Lo,
+				CIHi:     r.Estimate.CI.Hi,
+				R2:       r.Estimate.R2,
+			},
+		})
+	}
+	return out, nil
+}
+
+// DemographicBoost quantifies the paper's §9 future-work conjecture: how
+// many fewer random interests does an attacker need when they also target
+// the victim's known demographics (country and/or gender and/or age)?
+type DemographicBoost struct {
+	// P is the uniqueness probability evaluated.
+	P float64
+	// InterestOnly is N_P from interests alone.
+	InterestOnly float64
+	// WithDemographics is N_P when demographics narrow the base first.
+	WithDemographics float64
+	// Saved is the attacker's knowledge discount in interests.
+	Saved float64
+}
+
+// DemographicKnowledgeOptions selects what the attacker knows.
+type DemographicKnowledgeOptions struct {
+	Country  bool
+	Gender   bool
+	AgeYears bool
+	// AgeSlack widens the age targeting (0 = exact year).
+	AgeSlack int
+	// P is the uniqueness probability (default 0.9).
+	P float64
+	// BootstrapIters per estimate (default 300).
+	BootstrapIters int
+}
+
+// EstimateDemographicBoost runs the §9 future-work study.
+func (w *World) EstimateDemographicBoost(opts DemographicKnowledgeOptions) (DemographicBoost, error) {
+	if opts.P <= 0 || opts.P >= 1 {
+		opts.P = 0.9
+	}
+	if opts.BootstrapIters <= 0 {
+		opts.BootstrapIters = 300
+	}
+	know := core.DemographicKnowledge{
+		Country:  opts.Country,
+		Gender:   opts.Gender,
+		AgeYears: opts.AgeYears,
+		AgeSlack: opts.AgeSlack,
+	}
+	study, err := core.RunDemographicStudy(
+		w.panel.Users,
+		core.NewModelSource(w.model),
+		know.Fn(),
+		opts.P,
+		opts.BootstrapIters,
+		w.root.Derive("demoboost"),
+	)
+	if err != nil {
+		return DemographicBoost{}, err
+	}
+	return DemographicBoost{
+		P:                study.P,
+		InterestOnly:     study.InterestOnly.NP,
+		WithDemographics: study.WithDemographics.NP,
+		Saved:            study.Saved(),
+	}, nil
+}
+
+// WriteTable1 renders the study in the paper's Table 1 layout.
+func (s *UniquenessStudy) WriteTable1(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-6s %8s %18s %6s\n", "strategy", "P", "N_P", "95% CI", "R2"); err != nil {
+		return err
+	}
+	for _, r := range s.rows {
+		if _, err := fmt.Fprintf(w, "%-8s %-6.2f %8.2f (%7.2f, %7.2f) %6.3f\n",
+			r.Strategy, r.P, r.NP, r.CILo, r.CIHi, r.R2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
