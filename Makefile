@@ -1,0 +1,33 @@
+# Mirrors .github/workflows/ci.yml so local and CI invocations cannot drift:
+# `make lint test` runs exactly the CI gates.
+
+GO ?= go
+
+.PHONY: all build test bench bench-smoke lint fmt clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (minutes); bench-smoke is the 1-iteration CI variant.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Figure1$$|Figure3$$|Table1$$|AblationParallelism' -benchtime 1x .
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -28,6 +28,10 @@ type NanotargetingOptions struct {
 	DailyBudgetCents int64
 	// Seed varies the experiment independently of the world seed.
 	Seed uint64
+	// Parallelism overrides the world's worker knob for this experiment
+	// (0 = world default, 1 = sequential). Table 2 is identical for any
+	// value: campaign streams are derived per creative, not per schedule.
+	Parallelism int
 }
 
 // CampaignRow is one row of Table 2.
@@ -115,6 +119,7 @@ func (w *World) RunNanotargeting(opts NanotargetingOptions) (*NanotargetingRepor
 		Delivery:         campaign.DefaultDeliveryConfig(),
 		Logger:           logger,
 		Rand:             w.root.Derive(fmt.Sprintf("experiment/%d", opts.Seed)),
+		Parallelism:      w.workers(opts.Parallelism),
 	}
 	rep, err := experiment.Run(cfg)
 	if err != nil {
@@ -260,6 +265,43 @@ func (w *World) RemoveRiskyInterests(panelIndex int, level string) (int, error) 
 	return rep.RemoveAllAtOrAbove(lvl), nil
 }
 
+// PanelRiskSummary is the operator-level §6 view: risk-scored interests
+// aggregated over the whole panel.
+type PanelRiskSummary struct {
+	// Users is the number of panel users scanned.
+	Users int
+	// Interests is the number of (user, interest) pairs scored.
+	Interests int
+	// ByLevel counts scored interests per §6 color.
+	ByLevel map[string]int
+	// UsersWithRed is how many users hold at least one red (≤10k audience)
+	// interest.
+	UsersWithRed int
+	// MaxRedPerUser is the largest red-interest count on one profile.
+	MaxRedPerUser int
+}
+
+// PanelRisk risk-scores every interest of every panel user (the §6 FDVT
+// view, run panel-wide) using the world's parallelism knob.
+func (w *World) PanelRisk() (PanelRiskSummary, error) {
+	reports, err := fdvt.ScanPanel(w.panel.Users, w.model.Catalog(), w.model.Population(), w.parallelism)
+	if err != nil {
+		return PanelRiskSummary{}, err
+	}
+	sum := fdvt.SummarizeRisk(reports)
+	out := PanelRiskSummary{
+		Users:         sum.Users,
+		Interests:     sum.Interests,
+		ByLevel:       make(map[string]int, len(sum.ByLevel)),
+		UsersWithRed:  sum.UsersWithHigh,
+		MaxRedPerUser: sum.MaxHighPerUser,
+	}
+	for lvl, n := range sum.ByLevel {
+		out.ByLevel[lvl.String()] = n
+	}
+	return out, nil
+}
+
 // --- Countermeasures (§8.3) ---
 
 // PolicyOutcome summarizes one countermeasure's protective effect.
@@ -285,6 +327,9 @@ type PolicyOptions struct {
 	// MinAudienceLimits for the §8.3 audience-floor policy
 	// (default 100 and 1000).
 	MinAudienceLimits []int64
+	// Parallelism overrides the world's worker knob for this evaluation
+	// (0 = world default, 1 = sequential).
+	Parallelism int
 }
 
 // EvaluatePolicies replays nanotargeting attacks under no policy, the
@@ -334,6 +379,7 @@ func (w *World) EvaluatePolicies(opts PolicyOptions) ([]PolicyOutcome, error) {
 		InterestCount: opts.InterestCount,
 		Trials:        opts.Trials,
 		Rand:          w.root.Derive("policies"),
+		Parallelism:   w.workers(opts.Parallelism),
 	}, policies)
 	if err != nil {
 		return nil, err

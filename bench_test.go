@@ -378,6 +378,53 @@ func BenchmarkExtensionDemographics(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationParallelism measures the parallel engine's scaling on
+// the two hottest paths — sample collection (the machinery behind Figs 3–5)
+// and the bootstrap (Table 1's CIs) — at 1 worker (sequential) versus
+// one worker per core. Output is byte-identical
+// across the variants (see determinism_test.go); only wall time may differ.
+func BenchmarkAblationParallelism(b *testing.B) {
+	w := getBenchWorld(b)
+	src := core.NewModelSource(w.Model())
+	users := w.PanelUsers()
+	samples, err := core.Collect(users, core.Random{}, src,
+		core.CollectConfig{Seed: rng.New(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		b.Run("collect-"+workersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Collect(users, core.Random{}, src, core.CollectConfig{
+					Seed:        rng.New(uint64(i)),
+					Parallelism: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("bootstrap-"+workersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EstimateNP(samples, 0.9, core.EstimateConfig{
+					BootstrapIters: 2000,
+					CILevel:        0.95,
+					Rand:           rng.New(uint64(i)),
+					Parallelism:    workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func workersName(w int) string {
+	if w == 1 {
+		return "workers-1"
+	}
+	return "workers-percore"
+}
+
 // BenchmarkWorldConstruction measures full world calibration (catalog,
 // rates, panel) at bench scale.
 func BenchmarkWorldConstruction(b *testing.B) {

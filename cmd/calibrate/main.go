@@ -35,6 +35,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "master seed")
 		psigma      = flag.Float64("psigma", 1.15, "panel profile-size log-sigma")
 		mixture     = flag.Float64("mixture", 0.05, "panel small-profile mixture weight")
+		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 
 		scfg := core.DefaultStudyConfig(root.Derive(fmt.Sprintf("study/%.3f", sigma)))
 		scfg.BootstrapIters = *boot
+		scfg.Parallelism = *workers
 		start = time.Now()
 		res, err := core.RunStudy(panel.Users, core.NewModelSource(model), scfg)
 		if err != nil {

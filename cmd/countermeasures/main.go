@@ -30,6 +30,7 @@ func main() {
 		trials      = flag.Int("trials", 5, "attacks per victim")
 		seed        = flag.Uint64("seed", 1, "world seed")
 		sweep       = flag.Bool("sweep", false, "sweep the max-interests cap from 5 to 25")
+		workers     = flag.Int("workers", 0, "worker goroutines for attack replay (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		nanotarget.WithSeed(*seed),
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
+		nanotarget.WithParallelism(*workers),
 	)
 	if err != nil {
 		log.Fatal(err)

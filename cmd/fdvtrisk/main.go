@@ -23,6 +23,8 @@ func main() {
 		level       = flag.String("remove", "orange", "severity to remove: red, orange or yellow (empty = only show)")
 		seed        = flag.Uint64("seed", 1, "world seed")
 		show        = flag.Int("show", 15, "rows of the risk table to display")
+		scan        = flag.Bool("scan", false, "also risk-scan the whole panel and print the operator summary")
+		workers     = flag.Int("workers", 0, "worker goroutines for the panel scan (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -32,6 +34,7 @@ func main() {
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithProfileMedian(200),
+		nanotarget.WithParallelism(*workers),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -56,6 +59,20 @@ func main() {
 			break
 		}
 		fmt.Printf("%-8s %-45s %14d\n", r.Risk, clip(r.Interest, 45), r.AudienceSize)
+	}
+
+	if *scan {
+		start = time.Now()
+		sum, err := w.PanelRisk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npanel risk scan (%d users, %d interests scored) in %v\n",
+			sum.Users, sum.Interests, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("red: %d  orange: %d  yellow: %d  green: %d\n",
+			sum.ByLevel["red"], sum.ByLevel["orange"], sum.ByLevel["yellow"], sum.ByLevel["green"])
+		fmt.Printf("%d users hold at least one red interest (max %d on one profile)\n",
+			sum.UsersWithRed, sum.MaxRedPerUser)
 	}
 
 	if *level == "" {

@@ -37,6 +37,7 @@ func main() {
 		boot        = flag.Int("boot", 300, "bootstrap iterations for Figs 8-10")
 		seed        = flag.Uint64("seed", 1, "world seed")
 		out         = flag.String("out", "", "directory for CSV output (optional)")
+		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		nanotarget.WithSeed(*seed),
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
+		nanotarget.WithParallelism(*workers),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,7 @@ func main() {
 		pop         = flag.Int64("population", 2_800_000_000, "worldwide user base (the 2020 experiment era)")
 		seed        = flag.Uint64("seed", 1, "world seed")
 		runs        = flag.Int("runs", 1, "number of experiment repetitions")
+		workers     = flag.Int("workers", 0, "worker goroutines for campaign fan-out (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithPopulation(*pop),
+		nanotarget.WithParallelism(*workers),
 	)
 	if err != nil {
 		log.Fatal(err)

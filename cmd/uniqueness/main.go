@@ -32,6 +32,7 @@ func main() {
 		out         = flag.String("out", "", "directory for figure CSVs (optional)")
 		plot        = flag.Bool("plot", true, "render ASCII plots of the VAS curves")
 		demo        = flag.Bool("demo", false, "also run the §9 future-work study (demographics + interests)")
+		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		nanotarget.WithSeed(*seed),
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
+		nanotarget.WithParallelism(*workers),
 	)
 	if err != nil {
 		log.Fatal(err)

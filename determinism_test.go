@@ -1,0 +1,176 @@
+package nanotarget
+
+// Determinism gate for the parallel engine: under a fixed seed, every
+// pipeline must produce byte-identical output at Parallelism: 8 and
+// Parallelism: 1 (the legacy sequential path). This is the repository's
+// reproducibility contract — parallelism may only change wall time.
+
+import (
+	"math"
+	"testing"
+
+	"nanotarget/internal/core"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/stats"
+)
+
+var determinismSeeds = []uint64{0, 1, 42}
+
+func detWorld(t *testing.T, seed uint64) *World {
+	t.Helper()
+	w, err := NewWorld(
+		WithSeed(seed),
+		WithCatalogSize(4000),
+		WithPanelSize(150),
+		WithProfileMedian(120),
+		WithActivityGrid(128),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// sameFloat treats NaN==NaN as equal (missing cells) and otherwise requires
+// bit-exact equality, not approximate closeness.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestCollectParallelismIsByteIdentical(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		w := detWorld(t, seed)
+		src := core.NewModelSource(w.Model())
+		for _, sel := range []core.Selector{core.LeastPopular{}, core.Random{}} {
+			seq, err := core.Collect(w.PanelUsers(), sel, src,
+				core.CollectConfig{Seed: rng.New(seed), Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := core.Collect(w.PanelUsers(), sel, src,
+				core.CollectConfig{Seed: rng.New(seed), Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.AS) != len(seq.AS) {
+				t.Fatalf("seed %d %s: row counts differ", seed, sel.Name())
+			}
+			for ui := range seq.AS {
+				for n := range seq.AS[ui] {
+					if !sameFloat(seq.AS[ui][n], par.AS[ui][n]) {
+						t.Fatalf("seed %d %s: AS[%d][%d] = %v sequential vs %v parallel",
+							seed, sel.Name(), ui, n, seq.AS[ui][n], par.AS[ui][n])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateNPParallelismIsByteIdentical(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		w := detWorld(t, seed)
+		src := core.NewModelSource(w.Model())
+		samples, err := core.Collect(w.PanelUsers(), core.Random{}, src,
+			core.CollectConfig{Seed: rng.New(seed), Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := core.EstimateNP(samples, 0.9, core.EstimateConfig{
+			BootstrapIters: 400, CILevel: 0.95, Rand: rng.New(seed), Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := core.EstimateNP(samples, 0.9, core.EstimateConfig{
+			BootstrapIters: 400, CILevel: 0.95, Rand: rng.New(seed), Parallelism: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFloat(seq.NP, par.NP) || !sameFloat(seq.CI.Lo, par.CI.Lo) ||
+			!sameFloat(seq.CI.Hi, par.CI.Hi) || !sameFloat(seq.R2, par.R2) {
+			t.Fatalf("seed %d: estimate diverged: sequential %+v vs parallel %+v", seed, seq, par)
+		}
+	}
+}
+
+func TestBootstrapParallelismIsByteIdentical(t *testing.T) {
+	stat := func(idx []int) (float64, error) {
+		s := 0.0
+		for _, i := range idx {
+			s += float64(i * i)
+		}
+		return s, nil
+	}
+	for _, seed := range determinismSeeds {
+		seq, err := stats.BootstrapParallel(137, 500, 1, rng.New(seed), stat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := stats.BootstrapParallel(137, 500, workers, rng.New(seed), stat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("seed %d workers %d: %d values vs %d", seed, workers, len(par), len(seq))
+			}
+			for i := range seq {
+				if !sameFloat(seq[i], par[i]) {
+					t.Fatalf("seed %d workers %d: value %d diverged", seed, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNanotargetingParallelismIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a world with 22-interest profiles")
+	}
+	w := detWorld(t, 1)
+	seq, err := w.RunNanotargeting(NanotargetingOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := w.RunNanotargeting(NanotargetingOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := seq.Rows(), par.Rows()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("campaign row %d diverged:\nsequential %+v\nparallel   %+v", i, a[i], b[i])
+		}
+	}
+	if seq.Successes != par.Successes || seq.TotalCostCents != par.TotalCostCents {
+		t.Fatalf("aggregates diverged: %+v vs %+v", seq, par)
+	}
+}
+
+func TestPolicyEvaluationParallelismIsByteIdentical(t *testing.T) {
+	w := detWorld(t, 42)
+	seq, err := w.EvaluatePolicies(PolicyOptions{Victims: 25, InterestCount: 12, Trials: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := w.EvaluatePolicies(PolicyOptions{Victims: 25, InterestCount: 12, Trials: 2, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts differ")
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("policy %q diverged:\nsequential %+v\nparallel   %+v", seq[i].Policy, seq[i], par[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module nanotarget
+
+go 1.24

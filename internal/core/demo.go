@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
 )
@@ -81,7 +83,8 @@ func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSo
 		FloorValue: float64(ms.Floor()),
 		Strategy:   sel.Name() + "+demo",
 	}
-	for ui, u := range users {
+	err := parallel.ForEach(context.Background(), len(users), cfg.Parallelism, func(ui int) error {
+		u := users[ui]
 		ids := sel.Select(u, m.Catalog(), maxN, selectorRand(seed, sel, u))
 		row := make([]float64, maxN)
 		for i := range row {
@@ -102,6 +105,10 @@ func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSo
 			row[i] = float64(reach)
 		}
 		s.AS[ui] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -124,27 +131,29 @@ func (d DemographicStudy) Saved() float64 {
 }
 
 // RunDemographicStudy estimates both variants with a shared selection seed
-// so the comparison isolates the demographic narrowing.
-func RunDemographicStudy(users []*population.User, ms *ModelSource, know KnowledgeFn, p float64, boot int, seed *rng.Rand) (DemographicStudy, error) {
+// so the comparison isolates the demographic narrowing. workers spreads
+// collection and bootstrap over that many goroutines (0 = one per core,
+// 1 = sequential) without changing the result.
+func RunDemographicStudy(users []*population.User, ms *ModelSource, know KnowledgeFn, p float64, boot int, seed *rng.Rand, workers int) (DemographicStudy, error) {
 	if seed == nil {
 		return DemographicStudy{}, errors.New("core: seed is required")
 	}
-	baseSamples, err := Collect(users, Random{}, ms, CollectConfig{Seed: seed.Derive("plain")})
+	baseSamples, err := Collect(users, Random{}, ms, CollectConfig{Seed: seed.Derive("plain"), Parallelism: workers})
 	if err != nil {
 		return DemographicStudy{}, fmt.Errorf("core: interest-only collection: %w", err)
 	}
 	baseEst, err := EstimateNP(baseSamples, p, EstimateConfig{
-		BootstrapIters: boot, CILevel: 0.95, Rand: seed.Derive("plain-boot"),
+		BootstrapIters: boot, CILevel: 0.95, Rand: seed.Derive("plain-boot"), Parallelism: workers,
 	})
 	if err != nil {
 		return DemographicStudy{}, err
 	}
-	demoSamples, err := CollectWithDemographics(users, Random{}, ms, know, CollectConfig{Seed: seed.Derive("plain")})
+	demoSamples, err := CollectWithDemographics(users, Random{}, ms, know, CollectConfig{Seed: seed.Derive("plain"), Parallelism: workers})
 	if err != nil {
 		return DemographicStudy{}, fmt.Errorf("core: demographic collection: %w", err)
 	}
 	demoEst, err := EstimateNP(demoSamples, p, EstimateConfig{
-		BootstrapIters: boot, CILevel: 0.95, Rand: seed.Derive("demo-boot"),
+		BootstrapIters: boot, CILevel: 0.95, Rand: seed.Derive("demo-boot"), Parallelism: workers,
 	})
 	if err != nil {
 		return DemographicStudy{}, err

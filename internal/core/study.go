@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
 	"nanotarget/internal/stats"
@@ -36,6 +38,13 @@ type CollectConfig struct {
 	MaxN int
 	// Seed drives the per-user selection randomness.
 	Seed *rng.Rand
+	// Parallelism is the number of users processed concurrently: 0 means one
+	// worker per core, 1 the exact legacy sequential path. Every user's
+	// selection stream is derived from Seed and the user's identity, never
+	// from execution order, so the collected samples are byte-identical for
+	// any value. The audience source must be safe for concurrent queries
+	// when Parallelism != 1 (ModelSource is: model queries are read-only).
+	Parallelism int
 }
 
 // Collect runs the §4.1 data collection: for every panel user, select up to
@@ -63,7 +72,8 @@ func Collect(users []*population.User, sel Selector, src AudienceSource, cfg Col
 		Strategy:   sel.Name(),
 	}
 	prefix, hasPrefix := src.(PrefixSource)
-	for ui, u := range users {
+	err := parallel.ForEach(context.Background(), len(users), cfg.Parallelism, func(ui int) error {
+		u := users[ui]
 		ids := sel.Select(u, cat, maxN, selectorRand(seed, sel, u))
 		row := make([]float64, maxN)
 		for i := range row {
@@ -73,7 +83,7 @@ func Collect(users []*population.User, sel Selector, src AudienceSource, cfg Col
 			if hasPrefix {
 				reaches, err := prefix.PrefixReach(ids)
 				if err != nil {
-					return nil, fmt.Errorf("core: prefix reach for user %d: %w", u.ID, err)
+					return fmt.Errorf("core: prefix reach for user %d: %w", u.ID, err)
 				}
 				for i, v := range reaches {
 					row[i] = float64(v)
@@ -82,13 +92,17 @@ func Collect(users []*population.User, sel Selector, src AudienceSource, cfg Col
 				for i := 1; i <= len(ids); i++ {
 					v, err := src.PotentialReach(ids[:i])
 					if err != nil {
-						return nil, fmt.Errorf("core: reach for user %d, n=%d: %w", u.ID, i, err)
+						return fmt.Errorf("core: reach for user %d, n=%d: %w", u.ID, i, err)
 					}
 					row[i-1] = float64(v)
 				}
 			}
 		}
 		s.AS[ui] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -242,6 +256,11 @@ type EstimateConfig struct {
 	CILevel float64
 	// Rand drives resampling. Required when BootstrapIters > 0.
 	Rand *rng.Rand
+	// Parallelism spreads bootstrap iterations over this many workers
+	// (0 = one per core, 1 = sequential). Each iteration resamples from its
+	// own index-derived stream, so estimates are byte-identical for any
+	// value.
+	Parallelism int
 }
 
 // DefaultEstimateConfig mirrors the paper: 10,000 resamples, 95% CIs.
@@ -274,7 +293,7 @@ func EstimateNP(s *Samples, p float64, cfg EstimateConfig) (Estimate, error) {
 		if level <= 0 || level >= 1 {
 			level = 0.95
 		}
-		ci, _, err := stats.BootstrapCI(s.NumUsers(), cfg.BootstrapIters, level, cfg.Rand,
+		ci, _, err := stats.BootstrapCIParallel(s.NumUsers(), cfg.BootstrapIters, cfg.Parallelism, level, cfg.Rand,
 			func(idx []int) (float64, error) {
 				fit, err := FitVAS(s.vasIdx(p, idx), s.FloorValue)
 				if err != nil {

@@ -35,6 +35,9 @@ type StudyConfig struct {
 	CILevel float64
 	// Rand seeds selection and bootstrap. Required.
 	Rand *rng.Rand
+	// Parallelism is the worker count for collection and bootstrap
+	// (0 = one per core, 1 = sequential); results are identical either way.
+	Parallelism int
 }
 
 // DefaultStudyConfig mirrors the paper's Table 1 setup.
@@ -60,8 +63,9 @@ func RunStudy(users []*population.User, src AudienceSource, cfg StudyConfig) (*S
 	res := &StudyResult{Samples: make(map[string]*Samples, len(cfg.Selectors))}
 	for _, sel := range cfg.Selectors {
 		samples, err := Collect(users, sel, src, CollectConfig{
-			MaxN: cfg.MaxN,
-			Seed: cfg.Rand.Derive("collect/" + sel.Name()),
+			MaxN:        cfg.MaxN,
+			Seed:        cfg.Rand.Derive("collect/" + sel.Name()),
+			Parallelism: cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: collecting %s samples: %w", sel.Name(), err)
@@ -72,6 +76,7 @@ func RunStudy(users []*population.User, src AudienceSource, cfg StudyConfig) (*S
 				BootstrapIters: cfg.BootstrapIters,
 				CILevel:        cfg.CILevel,
 				Rand:           cfg.Rand.Derive(fmt.Sprintf("boot/%s/%.3f", sel.Name(), p)),
+				Parallelism:    cfg.Parallelism,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: estimating N_%.2f (%s): %w", p, sel.Name(), err)
@@ -100,8 +105,10 @@ type GroupResult struct {
 
 // RunGroupAnalysis estimates N_P (single probability p, paper uses 0.9) for
 // each demographic group under each selector — the Appendix C analysis
-// behind Figures 8, 9 and 10.
-func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []GroupFilter, selectors []Selector, p float64, iters int, r *rng.Rand) ([]GroupResult, error) {
+// behind Figures 8, 9 and 10. workers spreads each group's collection and
+// bootstrap across goroutines (0 = one per core, 1 = sequential) without
+// changing the result.
+func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []GroupFilter, selectors []Selector, p float64, iters int, r *rng.Rand, workers int) ([]GroupResult, error) {
 	if r == nil {
 		return nil, errors.New("core: rand is required")
 	}
@@ -118,7 +125,8 @@ func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []Gro
 		}
 		for _, sel := range selectors {
 			samples, err := Collect(sub, sel, src, CollectConfig{
-				Seed: r.Derive("group/" + g.Label + "/" + sel.Name()),
+				Seed:        r.Derive("group/" + g.Label + "/" + sel.Name()),
+				Parallelism: workers,
 			})
 			if err != nil {
 				return nil, err
@@ -127,6 +135,7 @@ func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []Gro
 				BootstrapIters: iters,
 				CILevel:        0.95,
 				Rand:           r.Derive("groupboot/" + g.Label + "/" + sel.Name()),
+				Parallelism:    workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: group %q (%s): %w", g.Label, sel.Name(), err)

@@ -14,11 +14,13 @@
 package countermeasures
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"nanotarget/internal/campaign"
 	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
 )
@@ -127,6 +129,11 @@ type EvalConfig struct {
 	Trials int
 	// Rand drives selection and audience realization.
 	Rand *rng.Rand
+	// Parallelism is the number of victims attacked concurrently
+	// (0 = one per core, 1 = sequential). Per-victim attack streams are
+	// derived from Rand and the victim index, so results are identical for
+	// any value.
+	Parallelism int
 }
 
 // EvalResult summarizes one policy's protective effect.
@@ -181,12 +188,18 @@ func Evaluate(cfg EvalConfig, policies []Policy) ([]EvalResult, error) {
 	for _, pol := range policies {
 		res := EvalResult{Policy: pol.Name()}
 		polRand := cfg.Rand.Derive("policy/" + pol.Name())
-		for vi, victim := range cfg.Victims {
+		// Victims are attacked in parallel; each victim's tally is computed
+		// independently (its trial streams are derived from the victim
+		// index) and summed in index order afterwards.
+		type tally struct{ attacks, blocked, succeeded int }
+		tallies, err := parallel.Map(context.Background(), len(cfg.Victims), cfg.Parallelism, func(vi int) (tally, error) {
+			victim := cfg.Victims[vi]
+			var t tally
 			if len(victim.Interests) < cfg.InterestCount {
-				continue
+				return t, nil
 			}
 			for trial := 0; trial < cfg.Trials; trial++ {
-				res.Attacks++
+				t.attacks++
 				r := polRand.Derive(fmt.Sprintf("v%d/t%d", vi, trial))
 				ids := pickRandom(victim, cfg.InterestCount, r)
 				// The attacker may adapt to MaxInterests by truncating; a
@@ -204,19 +217,28 @@ func Evaluate(cfg EvalConfig, policies []Policy) ([]EvalResult, error) {
 					if mi, ok := firstMaxInterests(pol); ok && mi.Limit > 0 && mi.Limit < len(ids) {
 						spec.Interests = ids[:mi.Limit]
 					} else {
-						res.Blocked++
+						t.blocked++
 						continue
 					}
 				}
 				audience := cfg.Model.RealizeAudience(population.DemoFilter{}, spec.Interests, r)
 				if err := pol.Admit(spec, audience); err != nil {
-					res.Blocked++
+					t.blocked++
 					continue
 				}
 				if audience == 1 {
-					res.SucceededAnyway++
+					t.succeeded++
 				}
 			}
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tallies {
+			res.Attacks += t.attacks
+			res.Blocked += t.blocked
+			res.SucceededAnyway += t.succeeded
 		}
 		results = append(results, res)
 	}

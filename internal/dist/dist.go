@@ -1,0 +1,225 @@
+// Package dist provides the probability distributions the simulation draws
+// from: normal CDF/quantile helpers, log-normal variates (interest audience
+// sizes, panel profile sizes, CPM noise), truncated sampling, and the
+// Poisson/Binomial counting draws behind audience realization and ad
+// delivery.
+//
+// Everything is parametrized by an explicit *rng.Rand, so draws are
+// deterministic given the stream — the same reproducibility contract as the
+// rest of the repository. Counting draws switch to asymptotic approximations
+// (Poisson for rare events, normal for large counts) above fixed thresholds;
+// the switch depends only on the parameters, never on the stream, so a fixed
+// seed always takes the same branch.
+package dist
+
+import (
+	"errors"
+	"math"
+
+	"nanotarget/internal/rng"
+)
+
+// NormCDF returns Φ(x), the standard normal CDF.
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormQuantile returns Φ⁻¹(p) for p in (0,1).
+func NormQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// Sampler draws one variate from a distribution.
+type Sampler interface {
+	Sample(r *rng.Rand) float64
+}
+
+// LogNormal is the distribution of exp(Normal(Mu, Sigma)).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// NewLogNormalFromMedian builds a log-normal from its median (= exp(Mu)) and
+// log-space spread.
+func NewLogNormalFromMedian(median, sigma float64) (LogNormal, error) {
+	if median <= 0 {
+		return LogNormal{}, errors.New("dist: log-normal median must be positive")
+	}
+	if sigma <= 0 {
+		return LogNormal{}, errors.New("dist: log-normal sigma must be positive")
+	}
+	return LogNormal{Mu: math.Log(median), Sigma: sigma}, nil
+}
+
+// FitLogNormalQuantiles solves for the log-normal whose p1- and p2-quantiles
+// are x1 and x2 (e.g. the paper's audience-size quartiles).
+func FitLogNormalQuantiles(x1, p1, x2, p2 float64) (LogNormal, error) {
+	if x1 <= 0 || x2 <= 0 {
+		return LogNormal{}, errors.New("dist: quantile values must be positive")
+	}
+	if p1 <= 0 || p1 >= 1 || p2 <= 0 || p2 >= 1 || p1 == p2 {
+		return LogNormal{}, errors.New("dist: quantile probabilities must be distinct and in (0,1)")
+	}
+	if (x2-x1)*(p2-p1) <= 0 {
+		return LogNormal{}, errors.New("dist: quantile values must be ordered like their probabilities")
+	}
+	z1, z2 := NormQuantile(p1), NormQuantile(p2)
+	sigma := (math.Log(x2) - math.Log(x1)) / (z2 - z1)
+	mu := math.Log(x1) - sigma*z1
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample implements Sampler.
+func (d LogNormal) Sample(r *rng.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+// Median returns exp(Mu).
+func (d LogNormal) Median() float64 { return math.Exp(d.Mu) }
+
+// Quantile returns the p-quantile.
+func (d LogNormal) Quantile(p float64) float64 {
+	return math.Exp(d.Mu + d.Sigma*NormQuantile(p))
+}
+
+// CDF implements Inversible.
+func (d LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormCDF((math.Log(x) - d.Mu) / d.Sigma)
+}
+
+// CDF exposes the cumulative distribution; distributions implementing both
+// Sampler and CDF/Quantile support exact one-draw truncated sampling.
+type Inversible interface {
+	CDF(x float64) float64
+	Quantile(p float64) float64
+}
+
+// Truncated restricts a base distribution to [Lo, Hi]. When the base is
+// Inversible (the log-normal is), sampling maps ONE uniform draw through the
+// truncated inverse CDF — exact, and it consumes a fixed number of stream
+// values, which keeps downstream derivations stable. Other bases fall back
+// to rejection with a deterministic clamp after maxRejections attempts.
+type Truncated struct {
+	Base   Sampler
+	Lo, Hi float64
+}
+
+const maxRejections = 1000
+
+// Sample implements Sampler.
+func (t Truncated) Sample(r *rng.Rand) float64 {
+	if inv, ok := t.Base.(Inversible); ok {
+		pLo, pHi := inv.CDF(t.Lo), inv.CDF(t.Hi)
+		if pHi <= pLo {
+			return t.Lo
+		}
+		v := inv.Quantile(pLo + r.Float64()*(pHi-pLo))
+		// Guard the interval against floating-point round-trip error.
+		if v < t.Lo {
+			v = t.Lo
+		}
+		if v > t.Hi {
+			v = t.Hi
+		}
+		return v
+	}
+	var v float64
+	for i := 0; i < maxRejections; i++ {
+		v = t.Base.Sample(r)
+		if v >= t.Lo && v <= t.Hi {
+			return v
+		}
+	}
+	if v < t.Lo {
+		return t.Lo
+	}
+	if v > t.Hi {
+		return t.Hi
+	}
+	return v
+}
+
+// poissonNormalCutoff is where Poisson switches from exact inversion to the
+// normal approximation; at λ=64 the approximation's relative error is far
+// below the simulation's calibration error.
+const poissonNormalCutoff = 64
+
+// Poisson draws a Poisson(lambda) count. Non-positive lambda yields 0.
+func Poisson(r *rng.Rand, lambda float64) int64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < poissonNormalCutoff {
+		// Inversion by sequential search on the CDF (stable in log space is
+		// unnecessary below the cutoff: exp(-64) ≈ 1.6e-28 > smallest normal).
+		l := math.Exp(-lambda)
+		var k int64
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64())
+	if v < 0 {
+		return 0
+	}
+	return int64(v)
+}
+
+// Binomial thresholds: below smallN, count Bernoulli trials exactly; above,
+// use Poisson(np) for rare events or the normal approximation when the count
+// is large in both tails.
+const (
+	binomialSmallN     = 256
+	binomialNormalMass = 32 // min(np, n(1-p)) above which normal approx holds
+)
+
+// Binomial draws a Binomial(n, p) count. The simulation calls this with n up
+// to the platform population (billions) and p down to 1e-12 (nano
+// audiences), so the regimes matter: exact for small n, Poisson for rare
+// events, normal otherwise.
+func Binomial(r *rng.Rand, n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= binomialSmallN {
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < binomialNormalMass && p < 0.01 {
+		k := Poisson(r, mean)
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	if float64(n)*(1-p) < binomialNormalMass {
+		// Mirror the rare-failure tail.
+		return n - Binomial(r, n, 1-p)
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := math.Round(mean + sd*r.NormFloat64())
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return n
+	}
+	return int64(v)
+}

@@ -9,6 +9,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 
 	"nanotarget/internal/campaign"
 	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
 	"nanotarget/internal/simclock"
@@ -45,6 +47,11 @@ type Config struct {
 	Logger *weblog.Logger
 	// Rand drives interest selection, audience realization and delivery.
 	Rand *rng.Rand
+	// Parallelism is the number of campaigns simulated concurrently
+	// (0 = one per core, 1 = sequential). Every campaign draws from a
+	// stream derived from Rand and its creative ID, so Table 2 is
+	// byte-identical for any value.
+	Parallelism int
 }
 
 // DefaultConfig mirrors §5.1 for the given world, targets and click logger.
@@ -112,43 +119,66 @@ func Run(cfg Config) (*Report, error) {
 	successSched := simclock.PaperSchedule()
 	failureSched := simclock.PaperFailureSchedule()
 
-	rep := &Report{}
+	// Draw every target's nested master set up front: a random ordering
+	// whose prefixes give the 22 ⊃ 20 ⊃ 18 ⊃ ... subsets of §5.1.
+	type job struct {
+		ui     int
+		n      int
+		target *population.User
+		master []interest.ID
+	}
+	var jobs []job
 	for ui, target := range cfg.Targets {
 		if len(target.Interests) < maxN {
 			return nil, fmt.Errorf("experiment: target %d has only %d interests; %d required",
 				ui, len(target.Interests), maxN)
 		}
-		// Draw the nested master set: a random ordering whose prefixes give
-		// the 22 ⊃ 20 ⊃ 18 ⊃ ... subsets of §5.1.
 		master := randomSubset(target, maxN, cfg.Rand.Derive(fmt.Sprintf("master/%d", ui)))
 		for _, n := range counts {
-			sched := failureSched
-			if n >= cfg.SuccessGroupMin {
-				sched = successSched
-			}
-			creativeID := fmt.Sprintf("user%d-n%d", ui+1, n)
-			spec := campaign.Spec{
-				Name:             fmt.Sprintf("FDVT promo — User %d, %d interests", ui+1, n),
-				Interests:        master[:n],
-				DailyBudgetCents: cfg.DailyBudgetCents,
-				Schedule:         sched,
-				Creative: campaign.Creative{
-					ID:    creativeID,
-					Title: "FDVT: Data Valuation Tool",
-					Body:  fmt.Sprintf("How much do you earn for Facebook? [U%d/N%d]", ui+1, n),
-				},
-			}
-			res, err := eng.Run(spec, target, cfg.Rand.Derive("run/"+creativeID))
-			if err != nil {
-				return nil, fmt.Errorf("experiment: campaign %s: %w", creativeID, err)
-			}
-			rep.Outcomes = append(rep.Outcomes, Outcome{UserIndex: ui, N: n, Result: res})
-			rep.Campaigns++
-			rep.TotalCostCents += res.CostCents
-			if res.Nanotargeted {
-				rep.Successes++
-				rep.SuccessCostCents += res.CostCents
-			}
+			jobs = append(jobs, job{ui: ui, n: n, target: target, master: master})
+		}
+	}
+
+	// Fan the campaigns out. The engine only reads the model and config;
+	// the click logger is internally synchronized and each campaign logs
+	// (and counts) only its own creative ID, so concurrent campaigns cannot
+	// observe one another.
+	outcomes, err := parallel.Map(context.Background(), len(jobs), cfg.Parallelism, func(k int) (Outcome, error) {
+		j := jobs[k]
+		sched := failureSched
+		if j.n >= cfg.SuccessGroupMin {
+			sched = successSched
+		}
+		creativeID := fmt.Sprintf("user%d-n%d", j.ui+1, j.n)
+		spec := campaign.Spec{
+			Name:             fmt.Sprintf("FDVT promo — User %d, %d interests", j.ui+1, j.n),
+			Interests:        j.master[:j.n],
+			DailyBudgetCents: cfg.DailyBudgetCents,
+			Schedule:         sched,
+			Creative: campaign.Creative{
+				ID:    creativeID,
+				Title: "FDVT: Data Valuation Tool",
+				Body:  fmt.Sprintf("How much do you earn for Facebook? [U%d/N%d]", j.ui+1, j.n),
+			},
+		}
+		res, err := eng.Run(spec, j.target, cfg.Rand.Derive("run/"+creativeID))
+		if err != nil {
+			return Outcome{}, fmt.Errorf("experiment: campaign %s: %w", creativeID, err)
+		}
+		return Outcome{UserIndex: j.ui, N: j.n, Result: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	for _, o := range outcomes {
+		rep.Outcomes = append(rep.Outcomes, o)
+		rep.Campaigns++
+		rep.TotalCostCents += o.Result.CostCents
+		if o.Result.Nanotargeted {
+			rep.Successes++
+			rep.SuccessCostCents += o.Result.CostCents
 		}
 	}
 	return rep, nil

@@ -1,0 +1,64 @@
+package fdvt
+
+import (
+	"context"
+	"errors"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
+	"nanotarget/internal/population"
+)
+
+// PanelRiskSummary aggregates §6 risk reports across a whole panel — the
+// platform-operator view of how exposed the user base is to nanotargeting.
+type PanelRiskSummary struct {
+	// Users is the number of panel users scanned.
+	Users int
+	// Interests is the total number of active (user, interest) pairs
+	// scored; interests already removed via the §6 one-click action are
+	// excluded.
+	Interests int
+	// ByLevel counts active scored interests per risk level.
+	ByLevel map[RiskLevel]int
+	// UsersWithHigh is how many users hold at least one red interest —
+	// users a single audience query could already make unique.
+	UsersWithHigh int
+	// MaxHighPerUser is the largest number of red interests on one profile.
+	MaxHighPerUser int
+}
+
+// ScanPanel builds the per-user §6 risk reports for every panel user,
+// fanning users out over `workers` goroutines (0 = one per core,
+// 1 = sequential). Scoring only reads the catalog, so the scan is
+// embarrassingly parallel and its output is order-independent: reports are
+// returned indexed like users.
+func ScanPanel(users []*population.User, cat *interest.Catalog, pop int64, workers int) ([]*RiskReport, error) {
+	if len(users) == 0 {
+		return nil, errors.New("fdvt: no users to scan")
+	}
+	return parallel.Map(context.Background(), len(users), workers, func(i int) (*RiskReport, error) {
+		return NewRiskReport(users[i], cat, pop)
+	})
+}
+
+// SummarizeRisk folds per-user reports into the panel-level view.
+func SummarizeRisk(reports []*RiskReport) PanelRiskSummary {
+	sum := PanelRiskSummary{
+		Users:   len(reports),
+		ByLevel: map[RiskLevel]int{},
+	}
+	for _, rep := range reports {
+		counts := rep.CountByLevel()
+		for lvl, n := range counts {
+			sum.Interests += n
+			sum.ByLevel[lvl] += n
+		}
+		if high := counts[RiskHigh]; high > 0 {
+			sum.UsersWithHigh++
+			if high > sum.MaxHighPerUser {
+				sum.MaxHighPerUser = high
+			}
+		}
+	}
+	return sum
+}

@@ -1,9 +1,11 @@
 package stats
 
 import (
+	"context"
 	"errors"
 	"sort"
 
+	"nanotarget/internal/parallel"
 	"nanotarget/internal/rng"
 )
 
@@ -21,24 +23,60 @@ type CI struct {
 // model fit in 10,000 bootstrap samples" over the 2,390 panel users.
 // Resamples on which stat reports an error are skipped (rare degenerate
 // resamples, e.g. a constant-x fit); at least one success is required.
+//
+// Every iteration resamples from its own stream, derived from r and the
+// iteration index — never from a shared sequential stream — so the result
+// is identical under any worker count. Bootstrap runs sequentially; use
+// BootstrapParallel to spread iterations across cores.
 func Bootstrap(n, iters int, r *rng.Rand, stat func(idx []int) (float64, error)) ([]float64, error) {
+	return BootstrapParallel(n, iters, 1, r, stat)
+}
+
+// BootstrapParallel is Bootstrap across `workers` goroutines (0 = one per
+// core, 1 = the sequential path). Output is byte-identical for every worker
+// count under a fixed r. When workers != 1 the statistic must be safe for
+// concurrent calls (pure functions of the index set are; the repository's
+// fit statistics only read the collected samples).
+func BootstrapParallel(n, iters, workers int, r *rng.Rand, stat func(idx []int) (float64, error)) ([]float64, error) {
 	if n <= 0 {
 		return nil, ErrEmpty
 	}
 	if iters <= 0 {
 		return nil, errors.New("stats: bootstrap needs positive iteration count")
 	}
-	idx := make([]int, n)
-	out := make([]float64, 0, iters)
-	for it := 0; it < iters; it++ {
+	if r == nil {
+		return nil, errors.New("stats: bootstrap needs a random source")
+	}
+	w := parallel.Workers(workers)
+	vals := make([]float64, iters)
+	ok := make([]bool, iters)
+	scratch := make([][]int, w) // one index buffer per worker, reused across its iterations
+	err := parallel.ForEachWorker(context.Background(), iters, w, func(worker, it int) error {
+		idx := scratch[worker]
+		if idx == nil {
+			idx = make([]int, n)
+			scratch[worker] = idx
+		}
+		ri := parallel.SplitAt(r, "bootstrap", it)
 		for i := range idx {
-			idx[i] = r.Intn(n)
+			idx[i] = ri.Intn(n)
 		}
 		v, err := stat(idx)
 		if err != nil {
-			continue
+			return nil // degenerate resample: skip, exactly like the sequential path
 		}
-		out = append(out, v)
+		vals[it] = v
+		ok[it] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, iters)
+	for it, keep := range ok {
+		if keep {
+			out = append(out, vals[it])
+		}
 	}
 	if len(out) == 0 {
 		return nil, errors.New("stats: all bootstrap resamples failed")
@@ -69,7 +107,13 @@ func PercentileCI(boot []float64, level float64) (CI, error) {
 // BootstrapCI composes Bootstrap and PercentileCI and also returns the point
 // cloud so callers can inspect the bootstrap distribution.
 func BootstrapCI(n, iters int, level float64, r *rng.Rand, stat func(idx []int) (float64, error)) (CI, []float64, error) {
-	boot, err := Bootstrap(n, iters, r, stat)
+	return BootstrapCIParallel(n, iters, 1, level, r, stat)
+}
+
+// BootstrapCIParallel is BootstrapCI across `workers` goroutines, with the
+// same determinism guarantee as BootstrapParallel.
+func BootstrapCIParallel(n, iters, workers int, level float64, r *rng.Rand, stat func(idx []int) (float64, error)) (CI, []float64, error) {
+	boot, err := BootstrapParallel(n, iters, workers, r, stat)
 	if err != nil {
 		return CI{}, nil, err
 	}

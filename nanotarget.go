@@ -36,9 +36,10 @@ import (
 
 // World is a calibrated synthetic Facebook with a research panel.
 type World struct {
-	model *population.Model
-	panel *fdvt.Panel
-	root  *rng.Rand
+	model       *population.Model
+	panel       *fdvt.Panel
+	root        *rng.Rand
+	parallelism int
 }
 
 type config struct {
@@ -49,6 +50,7 @@ type config struct {
 	gridSize      int
 	panelSize     int
 	profileMedian float64
+	parallelism   int
 }
 
 // Option customizes world construction.
@@ -78,6 +80,14 @@ func WithPanelSize(n int) Option { return func(c *config) { c.panelSize = n } }
 // WithProfileMedian sets the median interests-per-panel-user (default 426).
 // Scale this down together with WithCatalogSize for fast demo worlds.
 func WithProfileMedian(m float64) Option { return func(c *config) { c.profileMedian = m } }
+
+// WithParallelism sets the worker count used by every study and experiment
+// the world runs (default 0 = runtime.GOMAXPROCS(0), i.e. one worker per
+// core; 1 = sequential execution on the caller's goroutine). Results are
+// byte-identical for any value under a fixed seed: each task derives its
+// random stream from the task's stable identity (user, bootstrap iteration,
+// campaign creative), never from execution order.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // NewWorld builds a calibrated world and panel. With default options this
 // reproduces the paper's full-scale setting (≈5s of construction); examples
@@ -128,7 +138,19 @@ func NewWorld(opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nanotarget: building panel: %w", err)
 	}
-	return &World{model: model, panel: panel, root: root}, nil
+	return &World{model: model, panel: panel, root: root, parallelism: cfg.parallelism}, nil
+}
+
+// Parallelism returns the world's worker count knob (0 = one per core).
+func (w *World) Parallelism() int { return w.parallelism }
+
+// workers resolves a per-call override against the world default: 0 keeps
+// the world's knob, anything else (including 1 = sequential) wins.
+func (w *World) workers(override int) int {
+	if override != 0 {
+		return override
+	}
+	return w.parallelism
 }
 
 // PanelSize returns the number of panel users.
@@ -234,6 +256,10 @@ type UniquenessOptions struct {
 	BootstrapIters int
 	// Strategies to evaluate: "LP", "R" (default both) and optionally "MP".
 	Strategies []string
+	// Parallelism overrides the world's worker knob for this study
+	// (0 = world default, 1 = sequential). The estimates are identical for
+	// any value; only wall time changes.
+	Parallelism int
 }
 
 // UniquenessEstimate is one row of Table 1.
@@ -329,6 +355,7 @@ func (w *World) EstimateUniqueness(opts UniquenessOptions) (*UniquenessStudy, er
 		BootstrapIters: opts.BootstrapIters,
 		CILevel:        0.95,
 		Rand:           w.root.Derive("uniqueness"),
+		Parallelism:    w.workers(opts.Parallelism),
 	}
 	res, err := core.RunStudy(w.panel.Users, core.NewModelSource(w.model), cfg)
 	if err != nil {
@@ -386,7 +413,7 @@ func (w *World) GroupUniqueness(g Grouping, p float64, bootstrapIters int) ([]Gr
 	}
 	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewModelSource(w.model),
 		groups, []core.Selector{core.LeastPopular{}, core.Random{}}, p,
-		bootstrapIters, w.root.Derive("groups"))
+		bootstrapIters, w.root.Derive("groups"), w.parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -457,6 +484,7 @@ func (w *World) EstimateDemographicBoost(opts DemographicKnowledgeOptions) (Demo
 		opts.P,
 		opts.BootstrapIters,
 		w.root.Derive("demoboost"),
+		w.parallelism,
 	)
 	if err != nil {
 		return DemographicBoost{}, err
