@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-smoke lint fmt clean
+# Minimum total test coverage (%) enforced by `make cover` and CI. Raising
+# it: run `make cover`, note the "total:" line, and bump the floor to about
+# one point below the new total so unrelated refactors don't flap the gate.
+# Never lower it to make a PR pass — add tests instead.
+COVERAGE_FLOOR ?= 73.0
+
+.PHONY: all build test bench bench-smoke bench-audience cover fuzz-smoke lint fmt clean
 
 all: lint build test
 
@@ -18,7 +24,34 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Figure1$$|Figure3$$|Table1$$|AblationParallelism' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Figure1$$|Figure3$$|Table1$$|AblationParallelism|Audience' -benchtime 1x .
+
+# Audience-engine benchmarks (the BENCH_audience.json baseline).
+bench-audience:
+	$(GO) test -run '^$$' -bench 'Audience' -benchtime 10x .
+
+# Total-coverage gate: fails when coverage drops below COVERAGE_FLOOR.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor: $(COVERAGE_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% is below the floor $(COVERAGE_FLOOR)% — add tests (see Makefile for the policy)"; exit 1; }
+
+# 10s-per-target native fuzz smoke (CI runs the same set).
+FUZZ_TARGETS = \
+	FuzzTargetingSpecParse:./internal/adsapi \
+	FuzzParseFBInterestID:./internal/adsapi \
+	FuzzReachEstimateHandler:./internal/adsapi \
+	FuzzConjunctionKey:./internal/audience \
+	FuzzKeyOrderSensitivity:./internal/audience
+
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "fuzzing $$name in $$pkg"; \
+		$(GO) test -run '^$$' -fuzz "^$$name\$$" -fuzztime 10s $$pkg || exit 1; \
+	done
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -31,3 +64,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

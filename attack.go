@@ -120,6 +120,7 @@ func (w *World) RunNanotargeting(opts NanotargetingOptions) (*NanotargetingRepor
 		Logger:           logger,
 		Rand:             w.root.Derive(fmt.Sprintf("experiment/%d", opts.Seed)),
 		Parallelism:      w.workers(opts.Parallelism),
+		Audience:         w.audience,
 	}
 	rep, err := experiment.Run(cfg)
 	if err != nil {
@@ -221,7 +222,7 @@ func (w *World) InterestRisk(panelIndex int) ([]RiskRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := fdvt.NewRiskReport(u, w.model.Catalog(), w.model.Population())
+	rep, err := fdvt.NewRiskReportFrom(u, w.audience)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +259,7 @@ func (w *World) RemoveRiskyInterests(panelIndex int, level string) (int, error) 
 	default:
 		return 0, fmt.Errorf("nanotarget: unknown risk level %q", level)
 	}
-	rep, err := fdvt.NewRiskReport(u, w.model.Catalog(), w.model.Population())
+	rep, err := fdvt.NewRiskReportFrom(u, w.audience)
 	if err != nil {
 		return 0, err
 	}
@@ -284,7 +285,7 @@ type PanelRiskSummary struct {
 // PanelRisk risk-scores every interest of every panel user (the §6 FDVT
 // view, run panel-wide) using the world's parallelism knob.
 func (w *World) PanelRisk() (PanelRiskSummary, error) {
-	reports, err := fdvt.ScanPanel(w.panel.Users, w.model.Catalog(), w.model.Population(), w.parallelism)
+	reports, err := fdvt.ScanPanel(w.panel.Users, w.audience, w.parallelism)
 	if err != nil {
 		return PanelRiskSummary{}, err
 	}
@@ -380,6 +381,7 @@ func (w *World) EvaluatePolicies(opts PolicyOptions) ([]PolicyOutcome, error) {
 		Trials:        opts.Trials,
 		Rand:          w.root.Derive("policies"),
 		Parallelism:   w.workers(opts.Parallelism),
+		Audience:      w.audience,
 	}, policies)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/core"
 	"nanotarget/internal/countermeasures"
 	"nanotarget/internal/interest"
@@ -423,6 +424,125 @@ func workersName(w int) string {
 		return "workers-1"
 	}
 	return "workers-percore"
+}
+
+// --- Audience engine (the shared reach oracle) ---
+
+// audienceProbeWorkload builds the attacker's §4 probe pattern: `bases`
+// conjunction chains, each queried at every prefix length up to maxN — the
+// workload every subsystem funnels into the audience engine. Queries repeat
+// overlapping ordered prefixes, so a warmed cache serves them from memory.
+func audienceProbeWorkload(cat *interest.Catalog, bases, maxN int) [][]interest.ID {
+	queries := make([][]interest.ID, 0, bases*maxN)
+	for u := 0; u < bases; u++ {
+		base := make([]interest.ID, maxN)
+		for i := range base {
+			base[i] = interest.ID((u*4409 + i*811) % cat.Len())
+		}
+		for n := 1; n <= maxN; n++ {
+			queries = append(queries, base[:n])
+		}
+	}
+	return queries
+}
+
+// BenchmarkAudienceQueries compares the three regimes of the repeated-
+// conjunction hot path: uncached model evaluation (the pre-engine
+// behaviour), a cold cache (first exposure: misses plus incremental prefix
+// extension), and a warm cache (steady-state attacker probing: hits).
+// The determinism gate guarantees all three produce identical bits; this
+// bench records what the cache buys in wall time — the warm/cold ratio is
+// the headline number tracked in BENCH_audience.json.
+func BenchmarkAudienceQueries(b *testing.B) {
+	w := getBenchWorld(b)
+	m := w.Model()
+	queries := audienceProbeWorkload(m.Catalog(), 40, 25)
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if m.ConjunctionShare(q) < 0 {
+					b.Fatal("negative share")
+				}
+			}
+		}
+	})
+	b.Run("cold-cache", func(b *testing.B) {
+		eng := audience.Cached(m)
+		for i := 0; i < b.N; i++ {
+			eng.Reset()
+			for _, q := range queries {
+				if eng.ConjunctionShare(q) < 0 {
+					b.Fatal("negative share")
+				}
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		eng := audience.Cached(m)
+		for _, q := range queries {
+			eng.ConjunctionShare(q) // warm
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if eng.ConjunctionShare(q) < 0 {
+					b.Fatal("negative share")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAudienceBatch measures EvalBatch fan-out: the same cold probe
+// workload evaluated sequentially versus over one worker per core.
+func BenchmarkAudienceBatch(b *testing.B) {
+	w := getBenchWorld(b)
+	m := w.Model()
+	queries := audienceProbeWorkload(m.Catalog(), 40, 25)
+	for _, workers := range []int{1, 0} {
+		b.Run("batch-"+workersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := audience.Cached(m)
+				out := eng.EvalBatch(queries, workers)
+				if len(out) != len(queries) {
+					b.Fatal("short batch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAudienceEndToEnd measures the cache's effect on a full consumer:
+// the §4.1 collection pass (the machinery behind Figs 3–5) with the
+// audience engine cold versus pre-warmed by a previous collection — the
+// "second analysis on the same world" scenario every cmd tool hits.
+func BenchmarkAudienceEndToEnd(b *testing.B) {
+	w := getBenchWorld(b)
+	users := w.PanelUsers()[:200]
+	b.Run("collect-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src := core.NewEngineSource(audience.Cached(w.Model()))
+			if _, err := core.Collect(users, core.Random{}, src,
+				core.CollectConfig{Seed: rng.New(1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collect-warm", func(b *testing.B) {
+		eng := audience.Cached(w.Model())
+		src := core.NewEngineSource(eng)
+		if _, err := core.Collect(users, core.Random{}, src,
+			core.CollectConfig{Seed: rng.New(1)}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Collect(users, core.Random{}, src,
+				core.CollectConfig{Seed: rng.New(1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkWorldConstruction measures full world calibration (catalog,

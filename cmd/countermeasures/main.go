@@ -31,6 +31,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "world seed")
 		sweep       = flag.Bool("sweep", false, "sweep the max-interests cap from 5 to 25")
 		workers     = flag.Int("workers", 0, "worker goroutines for attack replay (0 = one per core, 1 = sequential)")
+		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithParallelism(*workers),
+		nanotarget.WithAudienceCache(*cache),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nanotarget/internal/adsapi"
+	"nanotarget/internal/audience"
 	"nanotarget/internal/interest"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
@@ -34,6 +35,8 @@ func main() {
 		tokens      = flag.String("tokens", "", "comma-separated access tokens (empty = no auth)")
 		rate        = flag.Float64("rate", 0, "per-token rate limit in requests/second (0 = unlimited)")
 		seed        = flag.Uint64("seed", 1, "world seed")
+		cache       = flag.Bool("cache", true, "enable the reach-estimate audience cache (false = recompute every query; results are identical)")
+		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
 	)
 	flag.Parse()
 
@@ -67,8 +70,10 @@ func main() {
 	if *tokens != "" {
 		tokenList = strings.Split(*tokens, ",")
 	}
+	aud := audience.New(model, audience.Options{Capacity: *cacheCap, Disabled: !*cache})
 	srv, err := adsapi.NewServer(adsapi.ServerConfig{
 		Model:     model,
+		Audience:  aud,
 		Era:       eraCfg,
 		Tokens:    tokenList,
 		RateLimit: *rate,

@@ -25,6 +25,7 @@ func main() {
 		show        = flag.Int("show", 15, "rows of the risk table to display")
 		scan        = flag.Bool("scan", false, "also risk-scan the whole panel and print the operator summary")
 		workers     = flag.Int("workers", 0, "worker goroutines for the panel scan (0 = one per core, 1 = sequential)")
+		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithProfileMedian(200),
 		nanotarget.WithParallelism(*workers),
+		nanotarget.WithAudienceCache(*cache),
 	)
 	if err != nil {
 		log.Fatal(err)

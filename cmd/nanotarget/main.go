@@ -29,6 +29,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "world seed")
 		runs        = flag.Int("runs", 1, "number of experiment repetitions")
 		workers     = flag.Int("workers", 0, "worker goroutines for campaign fan-out (0 = one per core, 1 = sequential)")
+		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithPopulation(*pop),
 		nanotarget.WithParallelism(*workers),
+		nanotarget.WithAudienceCache(*cache),
 	)
 	if err != nil {
 		log.Fatal(err)

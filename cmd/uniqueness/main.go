@@ -33,6 +33,8 @@ func main() {
 		plot        = flag.Bool("plot", true, "render ASCII plots of the VAS curves")
 		demo        = flag.Bool("demo", false, "also run the §9 future-work study (demographics + interests)")
 		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
+		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
+		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,8 @@ func main() {
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithParallelism(*workers),
+		nanotarget.WithAudienceCache(*cache),
+		nanotarget.WithAudienceCacheCapacity(*cacheCap),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +57,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("study completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("study completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if st := w.AudienceCacheStats(); *cache {
+		fmt.Printf("audience cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d/%d entries)\n",
+			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, st.Entries, st.Capacity)
+	}
+	fmt.Println()
 
 	// Table 1 with the paper's values alongside.
 	paper := map[string]map[float64]float64{

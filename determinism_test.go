@@ -1,9 +1,10 @@
 package nanotarget
 
-// Determinism gate for the parallel engine: under a fixed seed, every
-// pipeline must produce byte-identical output at Parallelism: 8 and
-// Parallelism: 1 (the legacy sequential path). This is the repository's
-// reproducibility contract — parallelism may only change wall time.
+// Determinism gates for the execution engines: under a fixed seed, every
+// pipeline must produce byte-identical output (1) at Parallelism: 8 and
+// Parallelism: 1 (the legacy sequential path), and (2) with the audience
+// cache on and off. This is the repository's reproducibility contract —
+// parallelism and caching may only change wall time.
 
 import (
 	"math"
@@ -18,12 +19,22 @@ var determinismSeeds = []uint64{0, 1, 42}
 
 func detWorld(t *testing.T, seed uint64) *World {
 	t.Helper()
+	return detWorldCache(t, seed, true)
+}
+
+// detWorldCache builds the shared small-scale test fixture (also the golden
+// fixture — see golden_test.go) with an explicit audience cache setting.
+// The scale options live HERE and only here: changing any of them
+// invalidates every golden pin.
+func detWorldCache(t *testing.T, seed uint64, cache bool) *World {
+	t.Helper()
 	w, err := NewWorld(
 		WithSeed(seed),
 		WithCatalogSize(4000),
 		WithPanelSize(150),
 		WithProfileMedian(120),
 		WithActivityGrid(128),
+		WithAudienceCache(cache),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -152,6 +163,123 @@ func TestNanotargetingParallelismIsByteIdentical(t *testing.T) {
 	}
 	if seq.Successes != par.Successes || seq.TotalCostCents != par.TotalCostCents {
 		t.Fatalf("aggregates diverged: %+v vs %+v", seq, par)
+	}
+}
+
+// TestAudienceCacheCollectIsByteIdentical gates Collect and EstimateNP:
+// sample tables and N_P estimates must be bit-identical with the audience
+// cache on and off, for both selection strategies.
+func TestAudienceCacheCollectIsByteIdentical(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		wOn := detWorldCache(t, seed, true)
+		wOff := detWorldCache(t, seed, false)
+		if !wOn.Audience().Enabled() || wOff.Audience().Enabled() {
+			t.Fatal("cache knob did not take effect")
+		}
+		for _, sel := range []core.Selector{core.LeastPopular{}, core.Random{}} {
+			cached, err := core.Collect(wOn.PanelUsers(), sel, core.NewEngineSource(wOn.Audience()),
+				core.CollectConfig{Seed: rng.New(seed), Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := core.Collect(wOff.PanelUsers(), sel, core.NewEngineSource(wOff.Audience()),
+				core.CollectConfig{Seed: rng.New(seed), Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cached.AS) != len(plain.AS) {
+				t.Fatalf("seed %d %s: row counts differ", seed, sel.Name())
+			}
+			for ui := range plain.AS {
+				for n := range plain.AS[ui] {
+					if !sameFloat(plain.AS[ui][n], cached.AS[ui][n]) {
+						t.Fatalf("seed %d %s: AS[%d][%d] = %v uncached vs %v cached",
+							seed, sel.Name(), ui, n, plain.AS[ui][n], cached.AS[ui][n])
+					}
+				}
+			}
+			est1, err := core.EstimateNP(cached, 0.9, core.EstimateConfig{
+				BootstrapIters: 200, CILevel: 0.95, Rand: rng.New(seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est2, err := core.EstimateNP(plain, 0.9, core.EstimateConfig{
+				BootstrapIters: 200, CILevel: 0.95, Rand: rng.New(seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameFloat(est1.NP, est2.NP) || !sameFloat(est1.CI.Lo, est2.CI.Lo) ||
+				!sameFloat(est1.CI.Hi, est2.CI.Hi) {
+				t.Fatalf("seed %d %s: estimate diverged: cached %+v vs uncached %+v",
+					seed, sel.Name(), est1, est2)
+			}
+		}
+		if st := wOn.AudienceCacheStats(); st.Hits == 0 {
+			t.Fatalf("seed %d: cache saw no hits; the gate is vacuous (%+v)", seed, st)
+		}
+	}
+}
+
+// TestAudienceCacheNanotargetingIsByteIdentical gates RunNanotargeting:
+// Table 2 must be identical with the cache on and off.
+func TestAudienceCacheNanotargetingIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a world with 22-interest profiles")
+	}
+	for _, seed := range determinismSeeds {
+		wOn := detWorldCache(t, seed, true)
+		wOff := detWorldCache(t, seed, false)
+		cached, err := wOn.RunNanotargeting(NanotargetingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := wOff.RunNanotargeting(NanotargetingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := cached.Rows(), plain.Rows()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: row counts differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: campaign row %d diverged:\ncached   %+v\nuncached %+v", seed, i, a[i], b[i])
+			}
+		}
+		if cached.Successes != plain.Successes || cached.TotalCostCents != plain.TotalCostCents {
+			t.Fatalf("seed %d: aggregates diverged", seed)
+		}
+		if st := wOn.AudienceCacheStats(); st.Hits == 0 {
+			t.Fatalf("seed %d: nested campaign subsets should share cached prefixes (%+v)", seed, st)
+		}
+	}
+}
+
+// TestAudienceCachePolicyEvaluationIsByteIdentical gates EvaluatePolicies.
+func TestAudienceCachePolicyEvaluationIsByteIdentical(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		wOn := detWorldCache(t, seed, true)
+		wOff := detWorldCache(t, seed, false)
+		cached, err := wOn.EvaluatePolicies(PolicyOptions{Victims: 20, InterestCount: 12, Trials: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := wOff.EvaluatePolicies(PolicyOptions{Victims: 20, InterestCount: 12, Trials: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cached) != len(plain) {
+			t.Fatalf("seed %d: outcome counts differ", seed)
+		}
+		for i := range plain {
+			if cached[i] != plain[i] {
+				t.Fatalf("seed %d: policy %q diverged:\ncached   %+v\nuncached %+v",
+					seed, plain[i].Policy, cached[i], plain[i])
+			}
+		}
+		if st := wOn.AudienceCacheStats(); st.Hits == 0 {
+			t.Fatalf("seed %d: policy replay should re-realize cached conjunctions (%+v)", seed, st)
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package nanotarget
+
+// Golden-number regression tests: the paper-reproduction figures pinned
+// under seed 42 at the golden scale, so refactors (caching, parallelism,
+// algebraic rewrites) cannot silently drift the science.
+//
+// Policy for changing a pinned number (also documented in README.md): a
+// golden value may only change in a PR whose stated purpose is a modeling
+// change, with the old and new values and the reason called out in the PR
+// description. Performance or refactoring PRs must reproduce these numbers
+// exactly — that is the point of the file. Tolerance is relative 1e-8 (the
+// pins are printed to 10 significant digits), NOT a license for drift.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"nanotarget/internal/core"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/stats"
+)
+
+// goldenWorld is the fixture every pin below was recorded against: the
+// shared small-scale world (detWorldCache in determinism_test.go, which
+// owns the scale options) at seed 42. Changing that fixture's options
+// invalidates all pins.
+func goldenWorld(t *testing.T) *World {
+	t.Helper()
+	return detWorldCache(t, 42, true)
+}
+
+// closeRel fails unless got is within relative tolerance 1e-8 of want.
+func closeRel(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, pinned 0", name, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-8 {
+		t.Errorf("%s = %.10g, pinned %.10g (relative drift %.2e)", name, got, want, rel)
+	}
+}
+
+// TestGoldenFig2CatalogQuantiles pins the catalog audience-size quartiles —
+// the §3/Fig 2 popularity distribution the whole world model calibrates
+// against (paper, full scale: 113,193 / 418,530 / 1,719,925).
+func TestGoldenFig2CatalogQuantiles(t *testing.T) {
+	w := goldenWorld(t)
+	cat := w.Model().Catalog()
+	sizes := make([]float64, cat.Len())
+	for id := 0; id < cat.Len(); id++ {
+		sizes[id] = float64(cat.AudienceSize(interest.ID(id), w.Population()))
+	}
+	qs, err := stats.Quantiles(sizes, []float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeRel(t, "fig2 q25", qs[0], 108872.5)
+	closeRel(t, "fig2 q50", qs[1], 412343)
+	closeRel(t, "fig2 q75", qs[2], 1743288.25)
+}
+
+// TestGoldenUniquenessCurve pins points of the VAS(90) uniqueness-vs-N
+// curves (Figs 4 and 5) and the N_0.9 point estimates (Table 1) for both
+// selection strategies. The floor value 20 marks combinations the 2017-era
+// platform already reported at its minimum — uniqueness territory.
+func TestGoldenUniquenessCurve(t *testing.T) {
+	w := goldenWorld(t)
+	type pin struct {
+		n    int
+		want float64
+	}
+	cases := []struct {
+		sel core.Selector
+		vas []pin
+		np  float64
+		r2  float64
+	}{
+		{
+			sel: core.LeastPopular{},
+			vas: []pin{{2, 1854.2}, {4, 20}, {12, 20}, {22, 20}},
+			np:  4.80772724,
+			r2:  0.9505426717,
+		},
+		{
+			sel: core.Random{},
+			vas: []pin{{2, 5189203.4}, {4, 111651.2}, {6, 6061.8}, {8, 722.2}, {12, 20}, {22, 20}},
+			np:  18.34946261,
+			r2:  0.9959459397,
+		},
+	}
+	for _, c := range cases {
+		samples, err := core.Collect(w.PanelUsers(), c.sel, core.NewEngineSource(w.Audience()),
+			core.CollectConfig{Seed: rng.New(42)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas := samples.VAS(0.9)
+		for _, p := range c.vas {
+			closeRel(t, c.sel.Name()+" VAS90 N="+strconv.Itoa(p.n), vas[p.n-1], p.want)
+		}
+		est, err := core.EstimateNP(samples, 0.9, core.EstimateConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closeRel(t, c.sel.Name()+" N_0.9", est.NP, c.np)
+		closeRel(t, c.sel.Name()+" R2", est.R2, c.r2)
+	}
+}
+
+// TestGoldenFDVTRiskCounts pins the §6 panel risk scan: how many scored
+// interests land in each risk band, and how exposed the panel is (users
+// holding at least one red, ≤10k-audience, interest).
+func TestGoldenFDVTRiskCounts(t *testing.T) {
+	w := goldenWorld(t)
+	sum, err := w.PanelRisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PanelRiskSummary{
+		Users:     150,
+		Interests: 34825,
+		ByLevel: map[string]int{
+			"red":    5,
+			"orange": 359,
+			"yellow": 4746,
+			"green":  29715,
+		},
+		UsersWithRed:  5,
+		MaxRedPerUser: 1,
+	}
+	if sum.Users != want.Users || sum.Interests != want.Interests ||
+		sum.UsersWithRed != want.UsersWithRed || sum.MaxRedPerUser != want.MaxRedPerUser {
+		t.Errorf("panel summary drifted: got %+v, pinned %+v", sum, want)
+	}
+	for lvl, n := range want.ByLevel {
+		if sum.ByLevel[lvl] != n {
+			t.Errorf("risk level %q count = %d, pinned %d", lvl, sum.ByLevel[lvl], n)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package adsapi
+
+// Native Go fuzz targets for the request-parsing surface: the simulated
+// Marketing API accepts attacker-controlled JSON (targeting specs, interest
+// IDs), so parsing must never panic and accepted inputs must uphold the
+// invariants the handlers rely on. CI runs each target for a short
+// -fuzztime as a smoke job (see .github/workflows/ci.yml); longer local
+// runs: go test -run '^$' -fuzz FuzzTargetingSpecParse ./internal/adsapi
+// -fuzztime 60s.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// fuzzWorld builds one small model + server shared by every fuzz iteration
+// (fuzzing re-enters the target thousands of times; world construction must
+// happen once).
+var fuzzWorld struct {
+	once  sync.Once
+	model *population.Model
+	srv   *Server
+	ts    *httptest.Server
+}
+
+func fuzzServer(f *testing.F) (*population.Model, *httptest.Server) {
+	f.Helper()
+	fuzzWorld.once.Do(func() {
+		icfg := interest.DefaultConfig()
+		icfg.Size = 500
+		cat, err := interest.Generate(icfg, rng.New(1))
+		if err != nil {
+			panic(err)
+		}
+		pcfg := population.DefaultConfig(cat)
+		pcfg.ActivityGridSize = 64
+		m, err := population.NewModel(pcfg)
+		if err != nil {
+			panic(err)
+		}
+		srv, err := NewServer(ServerConfig{Model: m})
+		if err != nil {
+			panic(err)
+		}
+		fuzzWorld.model = m
+		fuzzWorld.srv = srv
+		fuzzWorld.ts = httptest.NewServer(srv)
+	})
+	return fuzzWorld.model, fuzzWorld.ts
+}
+
+// FuzzTargetingSpecParse checks the spec pipeline's invariant: any input
+// that survives strict decoding AND era validation must convert to clauses
+// without error — the handlers assume exactly that.
+func FuzzTargetingSpecParse(f *testing.F) {
+	model, _ := fuzzServer(f)
+	cat := model.Catalog()
+	f.Add(`{"geo_locations":{"countries":["ES"]}}`)
+	f.Add(string(marshalJSON(ConjunctionSpec(GeoLocations{Countries: []string{"ES"}}, []interest.ID{1, 2, 3}))))
+	f.Add(`{"geo_locations":{"worldwide":true},"genders":[1],"age_min":18,"age_max":65}`)
+	f.Add(`{"geo_locations":{"countries":["XX"]}}`)
+	f.Add(`{"flexible_spec":[{"interests":[{"id":"6000000000042"}]}]}`)
+	f.Add(`{"unknown_field":1}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var spec TargetingSpec
+		if err := unmarshalStrict(raw, &spec); err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		for _, era := range []Era{Era2017, Era2020, EraWorkaround} {
+			if err := spec.Validate(era, cat); err != nil {
+				continue
+			}
+			clauses, err := spec.Clauses()
+			if err != nil {
+				t.Fatalf("validated spec failed Clauses: %v (spec %q)", err, raw)
+			}
+			total := 0
+			for _, c := range clauses {
+				total += len(c)
+			}
+			if total > era.MaxInterests {
+				t.Fatalf("validated spec exceeds era interest cap: %d > %d (spec %q)",
+					total, era.MaxInterests, raw)
+			}
+			// The demographic filter must be constructible and in range.
+			filter := spec.DemoFilter()
+			if s := model.DemoShare(filter); s < 0 || s > 1 {
+				t.Fatalf("demo share %v out of [0,1] (spec %q)", s, raw)
+			}
+		}
+	})
+}
+
+// FuzzParseFBInterestID checks the ID codec never panics and stays a
+// partial inverse of FBInterestID.
+func FuzzParseFBInterestID(f *testing.F) {
+	f.Add("6000000000000")
+	f.Add("6000000000042")
+	f.Add("-1")
+	f.Add("abc")
+	f.Add("999999999999999999999999")
+	f.Fuzz(func(t *testing.T, raw string) {
+		id, err := ParseFBInterestID(raw)
+		if err != nil {
+			return
+		}
+		// Accepted IDs must round-trip through the canonical encoder...
+		back, err := ParseFBInterestID(FBInterestID(id))
+		if err != nil || back != id {
+			t.Fatalf("round trip of %q: id %d -> %d, err %v", raw, id, back, err)
+		}
+	})
+}
+
+// FuzzReachEstimateHandler drives the HTTP surface end to end with
+// arbitrary targeting_spec payloads: the server must always answer with
+// well-formed JSON (a reach payload or an API error), never panic, and
+// never report a reach below the era floor.
+func FuzzReachEstimateHandler(f *testing.F) {
+	_, ts := fuzzServer(f)
+	f.Add(`{"geo_locations":{"countries":["ES"]}}`)
+	f.Add(`{"flexible_spec":[{"interests":[{"id":"6000000000007"}]}],"geo_locations":{"countries":["US","ES"]}}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`{"geo_locations":{"countries":["ES"]},"age_min":99,"age_max":1}`)
+	f.Fuzz(func(t *testing.T, rawSpec string) {
+		u := ts.URL + "/" + APIVersion + "/act_1/reachestimate?targeting_spec=" + url.QueryEscape(rawSpec)
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("reading body: %v", err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var out reachResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatalf("200 with unparsable body %q: %v", body, err)
+			}
+			if out.Data.Users < Era2017.MinReach {
+				t.Fatalf("reach %d below floor for spec %q", out.Data.Users, rawSpec)
+			}
+		case http.StatusBadRequest:
+			var env errorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+				t.Fatalf("400 with unparsable error body %q: %v", body, err)
+			}
+		default:
+			t.Fatalf("unexpected status %d for spec %q (body %q)", resp.StatusCode, rawSpec, body)
+		}
+	})
+}

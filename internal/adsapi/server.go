@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/population"
 )
 
@@ -16,6 +17,12 @@ import (
 type ServerConfig struct {
 	// Model backs reach computations. Required.
 	Model *population.Model
+	// Audience optionally supplies the audience engine reach estimates run
+	// through. Nil builds a cached engine over Model (the default: attacker
+	// probe loops re-query overlapping conjunction prefixes constantly, so
+	// hit rates are high). Pass audience.Disabled(model) for the uncached
+	// legacy behaviour; estimates are bit-identical either way.
+	Audience *audience.Engine
 	// Era selects platform rules (default Era2017).
 	Era Era
 	// Tokens is the set of valid access tokens. Empty disables auth
@@ -42,6 +49,7 @@ type ServerConfig struct {
 type Server struct {
 	cfg    ServerConfig
 	era    Era
+	aud    *audience.Engine
 	tokens map[string]bool
 	now    func() time.Time
 
@@ -77,9 +85,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			cfg.RateBurst = 1
 		}
 	}
+	if cfg.Audience == nil {
+		cfg.Audience = audience.Cached(cfg.Model)
+	} else if cfg.Audience.Model() != cfg.Model {
+		return nil, errors.New("adsapi: ServerConfig.Audience is backed by a different model")
+	}
 	s := &Server{
 		cfg:       cfg,
 		era:       cfg.Era,
+		aud:       cfg.Audience,
 		tokens:    make(map[string]bool, len(cfg.Tokens)),
 		now:       cfg.Now,
 		buckets:   make(map[string]*bucket),
@@ -128,6 +142,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Era returns the platform rules in force.
 func (s *Server) Era() Era { return s.era }
+
+// AudienceStats snapshots the reach cache's hit/miss/eviction counters.
+func (s *Server) AudienceStats() audience.Stats { return s.aud.Stats() }
 
 // DisableAccount makes every subsequent authorized call fail with FB error
 // 368 — reproducing the account closure the authors experienced days after
@@ -265,7 +282,7 @@ func (s *Server) estimateReach(spec TargetingSpec) (int64, error) {
 	if base < 0 {
 		base = 0
 	}
-	share := m.UnionConjunctionShare(clauses)
+	share := s.aud.UnionShare(clauses)
 	reach := int64(1 + base*share + 0.5)
 	if reach < s.era.MinReach {
 		reach = s.era.MinReach

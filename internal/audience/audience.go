@@ -1,0 +1,254 @@
+// Package audience is the shared audience-query engine of the reproduction:
+// a concurrency-safe, cached, batched front-end over population.Model's
+// quadrature-based audience evaluation.
+//
+// Every subsystem that needs an audience size — the simulated Marketing API
+// server (internal/adsapi), the nanotargeting experiment
+// (internal/experiment via internal/campaign), the countermeasure replay
+// (internal/countermeasures), the FDVT risk scans (internal/fdvt) and the
+// uniqueness study (internal/core) — issues the same query an attacker
+// issues thousands of times while probing conjunctions toward uniqueness:
+// "how many users hold all of these interests?". The engine serves that
+// query once and remembers it:
+//
+//   - interest-sequence keys are canonically encoded and interned (key.go);
+//   - a sharded LRU cache (cache.go) holds evaluated conjunction PREFIXES,
+//     with hit/miss/eviction counters exposed via Stats();
+//   - extending a cached conjunction S to S∪{i} resumes S's per-grid-point
+//     survivor weights instead of recomputing the whole activity-grid
+//     product — an O(grid) extension instead of O(|S|·grid);
+//   - EvalBatch fans independent queries out over internal/parallel.
+//
+// # Determinism contract
+//
+// The cache is byte-invisible: a cached result is bit-identical to what an
+// uncached evaluation would have produced, for any interleaving of
+// concurrent queries. This holds because (a) keys preserve query order, so
+// a cached survivor vector is exactly the floating-point state the direct
+// evaluation would have reached, and (b) entries are immutable, so racing
+// writers can only ever insert identical bits. determinism_test.go gates
+// cache-on == cache-off across the full pipeline for seeds {0, 1, 42}.
+package audience
+
+import (
+	"context"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// DefaultCapacity is the default number of cached conjunction prefixes.
+// At the default 512-point activity grid one entry holds ~4 KiB of survivor
+// weights, so the default cache tops out around 32 MiB.
+const DefaultCapacity = 8192
+
+// DefaultShards is the default lock-domain count of the cache.
+const DefaultShards = 16
+
+// Options configures an Engine.
+type Options struct {
+	// Capacity is the total number of cached prefixes across all shards
+	// (0 = DefaultCapacity). Negative disables caching entirely.
+	Capacity int
+	// Shards is the number of cache lock domains (0 = DefaultShards).
+	Shards int
+	// Disabled turns the cache off: every call delegates straight to the
+	// model — exactly the pre-engine behaviour.
+	Disabled bool
+}
+
+// Engine is the cached audience oracle. It is safe for concurrent use.
+type Engine struct {
+	model *population.Model
+	cache *cache // nil when disabled
+}
+
+// New builds an engine over the model with the given options.
+func New(m *population.Model, opts Options) *Engine {
+	if m == nil {
+		panic("audience: nil model")
+	}
+	e := &Engine{model: m}
+	if opts.Disabled || opts.Capacity < 0 {
+		return e
+	}
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	e.cache = newCache(capacity, shards)
+	return e
+}
+
+// Cached returns an engine with the default cache configuration.
+func Cached(m *population.Model) *Engine { return New(m, Options{}) }
+
+// Disabled returns a pass-through engine (no cache, no overhead): the
+// pre-engine behaviour behind the same interface.
+func Disabled(m *population.Model) *Engine { return New(m, Options{Disabled: true}) }
+
+// Model returns the underlying world model.
+func (e *Engine) Model() *population.Model { return e.model }
+
+// Catalog returns the interest catalog of the underlying model.
+func (e *Engine) Catalog() *interest.Catalog { return e.model.Catalog() }
+
+// Population returns the modeled user-base size.
+func (e *Engine) Population() int64 { return e.model.Population() }
+
+// Enabled reports whether the cache is active.
+func (e *Engine) Enabled() bool { return e.cache != nil }
+
+// Stats returns a snapshot of the cache counters (zero value when the cache
+// is disabled).
+func (e *Engine) Stats() Stats {
+	if e.cache == nil {
+		return Stats{}
+	}
+	return e.cache.stats()
+}
+
+// Reset drops every cached prefix and zeroes the counters (bench/test use).
+func (e *Engine) Reset() {
+	if e.cache != nil {
+		e.cache.reset()
+	}
+}
+
+// ConjunctionShare returns E_t[∏ q(t, λᵢ)], the fraction of the unfiltered
+// base holding every interest in ids — bit-identical to
+// population.Model.ConjunctionShare, served from the cache when possible.
+func (e *Engine) ConjunctionShare(ids []interest.ID) float64 {
+	if e.cache == nil || len(ids) == 0 {
+		return e.model.ConjunctionShare(ids)
+	}
+	// Fast path: the exact conjunction is cached.
+	key := AppendKey(make([]byte, 0, len(ids)*keyBytesPerID), ids)
+	if ent, ok := e.cache.get(key); ok {
+		return ent.share
+	}
+	shares := e.prefixWalk(ids, key[:0])
+	return shares[len(shares)-1]
+}
+
+// PrefixShares returns the share of every prefix ids[:1], ids[:2], ...,
+// ids[:len(ids)] — the §4.1 collection pattern — reusing and populating the
+// cache along the walk.
+func (e *Engine) PrefixShares(ids []interest.ID) []float64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	if e.cache == nil {
+		out := make([]float64, len(ids))
+		q := e.model.NewQuery()
+		for i, id := range ids {
+			q.And(id)
+			out[i] = q.Share()
+		}
+		return out
+	}
+	return e.prefixWalk(ids, make([]byte, 0, len(ids)*keyBytesPerID))
+}
+
+// prefixWalk evaluates every prefix of ids left to right. Cached prefixes
+// are served as-is; the first miss resumes the longest cached predecessor's
+// survivor weights and extends one interest at a time, inserting each newly
+// evaluated prefix. keyBuf is an empty scratch buffer (reused capacity).
+func (e *Engine) prefixWalk(ids []interest.ID, keyBuf []byte) []float64 {
+	out := make([]float64, len(ids))
+	var (
+		q    *population.Query // owned evaluation state, lazily materialized
+		last *entry            // deepest cached prefix seen so far
+	)
+	for i, id := range ids {
+		keyBuf = AppendKey(keyBuf, ids[i:i+1])
+		if q == nil {
+			if ent, ok := e.cache.get(keyBuf); ok {
+				out[i] = ent.share
+				last = ent
+				continue
+			}
+			// First miss: materialize state from the deepest hit (or from
+			// scratch) and fall through to evaluate this prefix.
+			if last != nil {
+				q = e.model.ResumeQuery(last.surv, last.n)
+			} else {
+				q = e.model.NewQuery()
+			}
+		}
+		q.And(id)
+		out[i] = q.Share()
+		e.cache.put(keyBuf, out[i], q.Survivors(), i+1)
+	}
+	return out
+}
+
+// UnionShare evaluates flexible_spec semantics (clauses ANDed, interests
+// within a clause ORed), bit-identical to
+// population.Model.UnionConjunctionShare. Pure conjunctions — every clause a
+// single interest, the shape the paper's probes use — are routed through the
+// cache; genuine unions are evaluated directly.
+func (e *Engine) UnionShare(clauses [][]interest.ID) float64 {
+	if e.cache == nil {
+		return e.model.UnionConjunctionShare(clauses)
+	}
+	ids := make([]interest.ID, len(clauses))
+	for i, clause := range clauses {
+		if len(clause) != 1 {
+			return e.model.UnionConjunctionShare(clauses)
+		}
+		ids[i] = clause[0]
+	}
+	return e.ConjunctionShare(ids)
+}
+
+// DemoShare returns the demographic filter share (uncached: it is three
+// table lookups).
+func (e *Engine) DemoShare(f population.DemoFilter) float64 { return e.model.DemoShare(f) }
+
+// ExpectedAudience returns the model-expected number of users matching the
+// filter and holding every interest in ids.
+func (e *Engine) ExpectedAudience(f population.DemoFilter, ids []interest.ID) float64 {
+	return float64(e.model.Population()) * e.model.DemoShare(f) * e.ConjunctionShare(ids)
+}
+
+// ExpectedAudienceConditional returns the §4.1 conditional audience
+// expectation, with the conjunction share served from the cache.
+func (e *Engine) ExpectedAudienceConditional(f population.DemoFilter, ids []interest.ID) float64 {
+	return e.model.ConditionalAudienceFromShare(f, e.ConjunctionShare(ids))
+}
+
+// RealizeAudience draws a concrete audience size (1 + Binomial(n−1, p)),
+// with the deterministic share cached and the stochastic draw untouched —
+// bit-identical to population.Model.RealizeAudience under the same stream.
+func (e *Engine) RealizeAudience(f population.DemoFilter, ids []interest.ID, r *rng.Rand) int64 {
+	return e.model.RealizeAudienceFromShare(f, e.ConjunctionShare(ids), r)
+}
+
+// InterestAudience returns the worldwide audience size of a single interest
+// at the modeled population — the §3 catalog number the FDVT risk scale
+// (§6) classifies against.
+func (e *Engine) InterestAudience(id interest.ID) int64 {
+	return e.model.Catalog().AudienceSize(id, e.model.Population())
+}
+
+// EvalBatch evaluates many independent conjunctions concurrently, fanning
+// out over the parallel engine (workers: 0 = one per core, 1 = sequential).
+// Results are returned in input order and are bit-identical for any worker
+// count — concurrent evaluations can only ever insert identical bits into
+// the cache.
+func (e *Engine) EvalBatch(batch [][]interest.ID, workers int) []float64 {
+	out, _ := parallel.Map(context.Background(), len(batch), workers, func(i int) (float64, error) {
+		return e.ConjunctionShare(batch[i]), nil
+	})
+	return out
+}

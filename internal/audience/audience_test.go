@@ -1,0 +1,309 @@
+package audience
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+func testModel(t testing.TB) *population.Model {
+	t.Helper()
+	icfg := interest.DefaultConfig()
+	icfg.Size = 2000
+	cat, err := interest.Generate(icfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 128
+	m, err := population.NewModel(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// randomConjunctions draws n conjunctions of up to maxLen distinct interests.
+func randomConjunctions(m *population.Model, n, maxLen int, r *rng.Rand) [][]interest.ID {
+	out := make([][]interest.ID, n)
+	for i := range out {
+		k := 1 + r.Intn(maxLen)
+		ids := make([]interest.ID, k)
+		seen := map[interest.ID]bool{}
+		for j := 0; j < k; j++ {
+			id := interest.ID(r.Intn(m.Catalog().Len()))
+			for seen[id] {
+				id = interest.ID(r.Intn(m.Catalog().Len()))
+			}
+			seen[id] = true
+			ids[j] = id
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestConjunctionShareMatchesModelBits is the core contract: cached results
+// are bit-identical to direct model evaluation, including when served via
+// incremental extension of a previously cached prefix.
+func TestConjunctionShareMatchesModelBits(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	r := rng.New(11)
+	conjs := randomConjunctions(m, 200, 25, r)
+	// Evaluate twice: the first pass populates (miss paths), the second is
+	// served from cache (hit paths). Both must match the model bitwise.
+	for pass := 0; pass < 2; pass++ {
+		for i, ids := range conjs {
+			want := m.ConjunctionShare(ids)
+			got := eng.ConjunctionShare(ids)
+			if !sameBits(want, got) {
+				t.Fatalf("pass %d conj %d: engine %v != model %v", pass, i, got, want)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.Hits == 0 {
+		t.Fatal("second pass should have hit the cache")
+	}
+}
+
+// TestPrefixExtensionReusesCachedState checks that extending a cached
+// conjunction produces the same bits as evaluating the long conjunction
+// from scratch.
+func TestPrefixExtensionReusesCachedState(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	base := []interest.ID{3, 141, 59, 265, 358, 979, 323, 846}
+	eng.ConjunctionShare(base) // cache all prefixes of base
+	hitsBefore := eng.Stats().Hits
+	ext := append(append([]interest.ID{}, base...), 1414, 213)
+	if got, want := eng.ConjunctionShare(ext), m.ConjunctionShare(ext); !sameBits(got, want) {
+		t.Fatalf("extended conjunction: engine %v != model %v", got, want)
+	}
+	if eng.Stats().Hits <= hitsBefore {
+		t.Fatal("extension should have hit the cached base prefix")
+	}
+}
+
+func TestPrefixSharesMatchesIncrementalQuery(t *testing.T) {
+	m := testModel(t)
+	for _, eng := range []*Engine{Cached(m), Disabled(m)} {
+		ids := []interest.ID{17, 1999, 512, 256, 33, 777}
+		got := eng.PrefixShares(ids)
+		q := m.NewQuery()
+		for i, id := range ids {
+			q.And(id)
+			if !sameBits(got[i], q.Share()) {
+				t.Fatalf("enabled=%v prefix %d: %v != %v", eng.Enabled(), i+1, got[i], q.Share())
+			}
+		}
+		// A second call must be pure cache (when enabled) and still identical.
+		again := eng.PrefixShares(ids)
+		for i := range got {
+			if !sameBits(got[i], again[i]) {
+				t.Fatalf("enabled=%v prefix %d drifted across calls", eng.Enabled(), i+1)
+			}
+		}
+	}
+}
+
+// TestUnionShareMatchesModelBits checks both the pure-conjunction fast path
+// and the general union fallback against the model.
+func TestUnionShareMatchesModelBits(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	cases := [][][]interest.ID{
+		{{1}, {2}, {3}},                   // pure conjunction -> cached path
+		{{1, 2}, {3}},                     // genuine union -> direct path
+		{{42}},                            // single clause
+		{{100, 200, 300}, {400}, {1500}},  // mixed
+		{{7}, {8}, {9}, {10}, {11}, {12}}, // longer pure conjunction
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, clauses := range cases {
+			want := m.UnionConjunctionShare(clauses)
+			got := eng.UnionShare(clauses)
+			if !sameBits(want, got) {
+				t.Fatalf("pass %d case %d: engine %v != model %v", pass, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRealizeAudienceMatchesModelBits(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	ids := []interest.ID{5, 10, 15, 20, 25}
+	f := population.DemoFilter{Countries: []string{"ES"}}
+	for i := 0; i < 3; i++ {
+		want := m.RealizeAudience(f, ids, rng.New(99))
+		got := eng.RealizeAudience(f, ids, rng.New(99))
+		if want != got {
+			t.Fatalf("iter %d: engine %d != model %d", i, got, want)
+		}
+	}
+	if want, got := m.ExpectedAudienceConditional(f, ids), eng.ExpectedAudienceConditional(f, ids); !sameBits(want, got) {
+		t.Fatalf("conditional audience: engine %v != model %v", got, want)
+	}
+	if want, got := m.ExpectedAudience(f, ids), eng.ExpectedAudience(f, ids); !sameBits(want, got) {
+		t.Fatalf("expected audience: engine %v != model %v", got, want)
+	}
+}
+
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	conjs := randomConjunctions(m, 300, 12, rng.New(23))
+	seq := make([]float64, len(conjs))
+	for i, ids := range conjs {
+		seq[i] = m.ConjunctionShare(ids)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got := eng.EvalBatch(conjs, workers)
+		for i := range seq {
+			if !sameBits(seq[i], got[i]) {
+				t.Fatalf("workers=%d conj %d: %v != %v", workers, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentMixedAccess hammers one engine from many goroutines with
+// overlapping prefixes; run under -race this is the engine's thread-safety
+// gate. Every goroutine must observe model-identical bits.
+func TestConcurrentMixedAccess(t *testing.T) {
+	m := testModel(t)
+	eng := New(m, Options{Capacity: 256, Shards: 4}) // small: forces evictions
+	conjs := randomConjunctions(m, 60, 25, rng.New(31))
+	want := make([]float64, len(conjs))
+	for i, ids := range conjs {
+		want[i] = m.ConjunctionShare(ids)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for i, ids := range conjs {
+					if got := eng.ConjunctionShare(ids); !sameBits(got, want[i]) {
+						errc <- errMismatch(g, i, got, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions with capacity 256, got stats %+v", st)
+	}
+	if st.Entries > st.Capacity {
+		t.Fatalf("cache overflowed: %+v", st)
+	}
+}
+
+func errMismatch(g, i int, got, want float64) error {
+	return fmt.Errorf("goroutine %d conj %d: engine %v != model %v", g, i, got, want)
+}
+
+func TestStatsAndReset(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	if st := eng.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("fresh engine has non-zero stats: %+v", st)
+	}
+	ids := []interest.ID{1, 2, 3}
+	eng.ConjunctionShare(ids)
+	eng.ConjunctionShare(ids)
+	st := eng.Stats()
+	if st.Misses == 0 || st.Hits == 0 || st.Entries != 3 {
+		t.Fatalf("unexpected stats after two evaluations: %+v", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Fatalf("hit rate out of range: %v", st.HitRate())
+	}
+	eng.Reset()
+	if st := eng.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("reset did not clear stats: %+v", st)
+	}
+	// Disabled engines report zero stats and still answer correctly.
+	dis := Disabled(m)
+	if got, want := dis.ConjunctionShare(ids), m.ConjunctionShare(ids); !sameBits(got, want) {
+		t.Fatal("disabled engine diverged from model")
+	}
+	if st := dis.Stats(); st != (Stats{}) {
+		t.Fatalf("disabled engine has stats: %+v", st)
+	}
+	if dis.Enabled() {
+		t.Fatal("disabled engine claims to be enabled")
+	}
+}
+
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	if got, want := eng.ConjunctionShare(nil), m.ConjunctionShare(nil); !sameBits(got, want) {
+		t.Fatalf("empty conjunction: %v != %v", got, want)
+	}
+	if out := eng.PrefixShares(nil); out != nil {
+		t.Fatalf("PrefixShares(nil) = %v, want nil", out)
+	}
+	if out := eng.EvalBatch(nil, 0); len(out) != 0 {
+		t.Fatalf("EvalBatch(nil) = %v, want empty", out)
+	}
+	// Repeated interests are legal (idempotent filters) and must match.
+	dup := []interest.ID{9, 9, 9}
+	if got, want := eng.ConjunctionShare(dup), m.ConjunctionShare(dup); !sameBits(got, want) {
+		t.Fatalf("duplicate-interest conjunction: %v != %v", got, want)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := [][]interest.ID{
+		nil,
+		{0},
+		{1, 2, 3},
+		{0xFFFFFFFF, 0, 42},
+		{7, 7, 7},
+	}
+	for _, ids := range cases {
+		key := Key(ids)
+		back, err := DecodeKey([]byte(key))
+		if err != nil {
+			t.Fatalf("decode %v: %v", ids, err)
+		}
+		if len(back) != len(ids) {
+			t.Fatalf("round trip of %v lost length: %v", ids, back)
+		}
+		for i := range ids {
+			if back[i] != ids[i] {
+				t.Fatalf("round trip of %v = %v", ids, back)
+			}
+		}
+	}
+	// Order must be preserved, not canonicalized away.
+	if Key([]interest.ID{1, 2}) == Key([]interest.ID{2, 1}) {
+		t.Fatal("key encoding must preserve order")
+	}
+	if _, err := DecodeKey([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged key should not decode")
+	}
+}

@@ -1,0 +1,74 @@
+package audience
+
+// Fuzz target for the conjunction-key codec: the cache's correctness rests
+// on the encoding being a bijection between ordered interest sequences and
+// key strings (a collision would silently serve one conjunction's audience
+// for another). CI runs this for a short -fuzztime as a smoke job.
+
+import (
+	"bytes"
+	"testing"
+
+	"nanotarget/internal/interest"
+)
+
+func FuzzConjunctionKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{1, 2, 3}) // ragged: must be rejected, not mis-decoded
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ids, err := DecodeKey(raw)
+		if err != nil {
+			if len(raw)%keyBytesPerID == 0 {
+				t.Fatalf("whole-width key %x rejected: %v", raw, err)
+			}
+			return
+		}
+		// Decode→encode must reproduce the exact bytes (bijectivity)...
+		re := AppendKey(nil, ids)
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("re-encode of %x = %x", raw, re)
+		}
+		// ...and the string form must agree with the append form.
+		if Key(ids) != string(raw) {
+			t.Fatalf("Key disagrees with AppendKey for %x", raw)
+		}
+		// Prefix property: every prefix of the key decodes to the ID prefix —
+		// this is what lets the cache walk extend keys in place.
+		for n := 0; n <= len(ids); n++ {
+			prefix, err := DecodeKey(raw[:n*keyBytesPerID])
+			if err != nil {
+				t.Fatalf("prefix %d of %x rejected: %v", n, raw, err)
+			}
+			if len(prefix) != n {
+				t.Fatalf("prefix %d of %x decoded to %d ids", n, raw, len(prefix))
+			}
+			for i := range prefix {
+				if prefix[i] != ids[i] {
+					t.Fatalf("prefix %d of %x diverged at %d", n, raw, i)
+				}
+			}
+		}
+		_ = ids
+	})
+}
+
+// FuzzKeyOrderSensitivity feeds pairs of IDs: distinct ordered sequences
+// must produce distinct keys, and identical sequences identical keys.
+func FuzzKeyOrderSensitivity(f *testing.F) {
+	f.Add(uint32(1), uint32(2))
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(0xFFFFFFFF), uint32(1))
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		ab := Key([]interest.ID{interest.ID(a), interest.ID(b)})
+		ba := Key([]interest.ID{interest.ID(b), interest.ID(a)})
+		if (a == b) != (ab == ba) {
+			t.Fatalf("key collision/divergence for %d,%d", a, b)
+		}
+		if Key([]interest.ID{interest.ID(a)}) == ab {
+			t.Fatalf("1-id key equals 2-id key for %d,%d", a, b)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package audience
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nanotarget/internal/interest"
+)
+
+// Conjunction keys.
+//
+// A cache key is the canonical byte encoding of an ORDERED interest
+// sequence: 4 bytes big-endian per interest.ID. Fixed-width encoding makes
+// the mapping bijective (no two distinct sequences share a key), and the
+// cache interns one string per distinct key so steady-state lookups allocate
+// nothing.
+//
+// Keys deliberately preserve query order instead of sorting the set:
+// quadrature evaluation multiplies survivor products in query order, and
+// floating-point multiplication is not associative, so a sort-canonicalized
+// cache could return bits that differ from an uncached evaluation of the
+// same query. Order-preserving keys are what make the cache byte-invisible
+// (the determinism gate in determinism_test.go). Attacker probe loops grow
+// conjunctions by appending, so their re-queries share ordered prefixes and
+// hit anyway.
+
+const keyBytesPerID = 4
+
+// AppendKey appends the canonical encoding of ids to dst and returns the
+// extended slice. Appending one more interest extends the key in place,
+// which is how the prefix walk builds all n keys in O(n) bytes.
+func AppendKey(dst []byte, ids []interest.ID) []byte {
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+	}
+	return dst
+}
+
+// Key returns the canonical key of an interest sequence as a string.
+func Key(ids []interest.ID) string {
+	return string(AppendKey(make([]byte, 0, len(ids)*keyBytesPerID), ids))
+}
+
+// DecodeKey inverts Key/AppendKey. It errors on any byte string that is not
+// a whole number of encoded IDs — the fuzz harness uses this to check the
+// encoding stays bijective.
+func DecodeKey(key []byte) ([]interest.ID, error) {
+	if len(key)%keyBytesPerID != 0 {
+		return nil, fmt.Errorf("audience: key length %d is not a multiple of %d", len(key), keyBytesPerID)
+	}
+	out := make([]interest.ID, 0, len(key)/keyBytesPerID)
+	for i := 0; i < len(key); i += keyBytesPerID {
+		out = append(out, interest.ID(binary.BigEndian.Uint32(key[i:])))
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/dist"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
@@ -68,16 +69,30 @@ func DefaultDeliveryConfig() DeliveryConfig {
 }
 
 // Engine runs campaigns against a world model, logging clicks to a weblog.
+// Audience realization routes through the shared audience engine, so
+// repeated campaigns over overlapping interest sets (the experiment's
+// nested 22 ⊃ 20 ⊃ 18 ⊃ ... subsets) reuse cached conjunction shares.
 type Engine struct {
 	cfg    DeliveryConfig
-	model  *population.Model
+	aud    *audience.Engine
 	clicks *weblog.Logger
 }
 
-// NewEngine validates dependencies.
+// NewEngine validates dependencies and runs delivery against an uncached
+// audience oracle (the legacy path); use NewEngineWithAudience to share a
+// cached engine across campaigns.
 func NewEngine(cfg DeliveryConfig, m *population.Model, clicks *weblog.Logger) (*Engine, error) {
 	if m == nil {
 		return nil, errors.New("campaign: model is required")
+	}
+	return NewEngineWithAudience(cfg, audience.Disabled(m), clicks)
+}
+
+// NewEngineWithAudience validates dependencies; the audience engine supplies
+// (and may cache) every audience-size evaluation.
+func NewEngineWithAudience(cfg DeliveryConfig, aud *audience.Engine, clicks *weblog.Logger) (*Engine, error) {
+	if aud == nil {
+		return nil, errors.New("campaign: audience engine is required")
 	}
 	if clicks == nil {
 		return nil, errors.New("campaign: click logger is required")
@@ -88,7 +103,7 @@ func NewEngine(cfg DeliveryConfig, m *population.Model, clicks *weblog.Logger) (
 	if cfg.TargetMaxDevices <= 0 {
 		cfg.TargetMaxDevices = 1
 	}
-	return &Engine{cfg: cfg, model: m, clicks: clicks}, nil
+	return &Engine{cfg: cfg, aud: aud, clicks: clicks}, nil
 }
 
 // cpmCents draws the market CPM for an audience of size a.
@@ -134,7 +149,7 @@ func (e *Engine) Run(spec Spec, target *population.User, r *rng.Rand) (Result, e
 
 	// 1. Realize the audience: the target plus a Binomial draw of
 	// co-matching users.
-	res.AudienceSize = e.model.RealizeAudience(spec.Filter, spec.Interests, r.Derive("audience"))
+	res.AudienceSize = e.aud.RealizeAudience(spec.Filter, spec.Interests, r.Derive("audience"))
 	audience := float64(res.AudienceSize)
 
 	// 2. Delivery capacity over the active windows.
@@ -237,11 +252,11 @@ func (e *Engine) Run(spec Spec, target *population.User, r *rng.Rand) (Result, e
 
 	// 7. Disclosure validation.
 	if res.Seen {
-		disc, err := WhyAmISeeingThis(spec, e.model.Catalog())
+		disc, err := WhyAmISeeingThis(spec, e.aud.Catalog())
 		if err != nil {
 			return Result{}, err
 		}
-		res.DisclosureOK = disc.MatchesSpec(spec, e.model.Catalog())
+		res.DisclosureOK = disc.MatchesSpec(spec, e.aud.Catalog())
 	}
 
 	res.Nanotargeted = res.Succeeded()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/interest"
 	"nanotarget/internal/population"
 )
@@ -37,11 +38,21 @@ type ModelSource struct {
 	// Filter optionally restricts the base (the paper used the top-50
 	// country set; zero value means the whole modeled base).
 	Filter population.DemoFilter
+	// Audience optionally routes conjunction-share evaluation through the
+	// cached audience engine. Nil queries the model directly; results are
+	// bit-identical either way (the engine's determinism contract).
+	Audience *audience.Engine
 }
 
 // NewModelSource returns a ModelSource with the 2017-era floor of 20.
 func NewModelSource(m *population.Model) *ModelSource {
 	return &ModelSource{Model: m, MinReach: 20}
+}
+
+// NewEngineSource returns a ModelSource that evaluates shares through the
+// audience engine (with the 2017-era floor of 20).
+func NewEngineSource(eng *audience.Engine) *ModelSource {
+	return &ModelSource{Model: eng.Model(), MinReach: 20, Audience: eng}
 }
 
 // Floor implements AudienceSource.
@@ -52,7 +63,12 @@ func (s *ModelSource) PotentialReach(ids []interest.ID) (int64, error) {
 	if s.Model == nil {
 		return 0, errors.New("core: ModelSource has no model")
 	}
-	aud := s.Model.ExpectedAudienceConditional(s.Filter, ids)
+	var aud float64
+	if s.Audience != nil {
+		aud = s.Audience.ExpectedAudienceConditional(s.Filter, ids)
+	} else {
+		aud = s.Model.ExpectedAudienceConditional(s.Filter, ids)
+	}
 	return s.clamp(aud), nil
 }
 
@@ -65,13 +81,26 @@ func (s *ModelSource) PrefixReach(ids []interest.ID) ([]int64, error) {
 	if base < 0 {
 		base = 0
 	}
-	q := s.Model.NewQuery()
 	out := make([]int64, len(ids))
+	if s.Audience != nil {
+		for i, p := range s.Audience.PrefixShares(ids) {
+			out[i] = s.clamp(1 + base*p)
+		}
+		return out, nil
+	}
+	q := s.Model.NewQuery()
 	for i, id := range ids {
 		q.And(id)
 		out[i] = s.clamp(1 + base*q.Share())
 	}
 	return out, nil
+}
+
+// ClampConditional converts an already-evaluated conjunction share (e.g.
+// from the audience engine's batch API) into the floored conditional
+// Potential Reach this source reports.
+func (s *ModelSource) ClampConditional(p float64) int64 {
+	return s.clamp(s.Model.ConditionalAudienceFromShare(s.Filter, p))
 }
 
 func (s *ModelSource) clamp(aud float64) int64 {

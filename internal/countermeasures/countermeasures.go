@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/campaign"
 	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
@@ -134,6 +135,12 @@ type EvalConfig struct {
 	// derived from Rand and the victim index, so results are identical for
 	// any value.
 	Parallelism int
+	// Audience optionally supplies a shared (cached) audience engine; nil
+	// builds an uncached engine over Model. Replaying the same victims
+	// under several policies re-realizes identical conjunctions, so the
+	// cache converts the per-policy share evaluations after the first into
+	// lookups. Results are bit-identical either way.
+	Audience *audience.Engine
 }
 
 // EvalResult summarizes one policy's protective effect.
@@ -184,6 +191,10 @@ func Evaluate(cfg EvalConfig, policies []Policy) ([]EvalResult, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1
 	}
+	aud := cfg.Audience
+	if aud == nil {
+		aud = audience.Disabled(cfg.Model)
+	}
 	results := make([]EvalResult, 0, len(policies))
 	for _, pol := range policies {
 		res := EvalResult{Policy: pol.Name()}
@@ -221,12 +232,12 @@ func Evaluate(cfg EvalConfig, policies []Policy) ([]EvalResult, error) {
 						continue
 					}
 				}
-				audience := cfg.Model.RealizeAudience(population.DemoFilter{}, spec.Interests, r)
-				if err := pol.Admit(spec, audience); err != nil {
+				realized := aud.RealizeAudience(population.DemoFilter{}, spec.Interests, r)
+				if err := pol.Admit(spec, realized); err != nil {
 					t.blocked++
 					continue
 				}
-				if audience == 1 {
+				if realized == 1 {
 					t.succeeded++
 				}
 			}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/campaign"
 	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
@@ -52,6 +53,12 @@ type Config struct {
 	// stream derived from Rand and its creative ID, so Table 2 is
 	// byte-identical for any value.
 	Parallelism int
+	// Audience optionally supplies a shared (cached) audience engine; nil
+	// builds an uncached engine over Model. The nested campaign subsets
+	// share long interest prefixes, so a cached engine serves most of the
+	// 21 audience realizations from memory. Results are bit-identical
+	// either way.
+	Audience *audience.Engine
 }
 
 // DefaultConfig mirrors §5.1 for the given world, targets and click logger.
@@ -112,7 +119,11 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("experiment: %d interests exceed the platform limit of 25", maxN)
 	}
 
-	eng, err := campaign.NewEngine(cfg.Delivery, cfg.Model, cfg.Logger)
+	aud := cfg.Audience
+	if aud == nil {
+		aud = audience.Disabled(cfg.Model)
+	}
+	eng, err := campaign.NewEngineWithAudience(cfg.Delivery, aud, cfg.Logger)
 	if err != nil {
 		return nil, err
 	}

@@ -79,23 +79,65 @@ type RiskReport struct {
 	byID    map[interest.ID]int
 }
 
+// AudienceOracle is the audience-size surface risk scoring queries — the
+// shape of the shared audience engine (internal/audience.Engine implements
+// it structurally, keeping fdvt free of an engine dependency).
+type AudienceOracle interface {
+	// Catalog returns the interest ecosystem.
+	Catalog() *interest.Catalog
+	// Population returns the modeled user-base size.
+	Population() int64
+	// InterestAudience returns the worldwide audience of a single interest.
+	InterestAudience(id interest.ID) int64
+}
+
+// catalogOracle serves audience sizes straight from a catalog — the legacy
+// scoring path, and the reference the engine-backed path must match.
+type catalogOracle struct {
+	cat *interest.Catalog
+	pop int64
+}
+
+func (o catalogOracle) Catalog() *interest.Catalog { return o.cat }
+func (o catalogOracle) Population() int64          { return o.pop }
+func (o catalogOracle) InterestAudience(id interest.ID) int64 {
+	return o.cat.AudienceSize(id, o.pop)
+}
+
+// CatalogOracle adapts a bare catalog + population as an AudienceOracle
+// (test and standalone use; production paths pass the audience engine).
+func CatalogOracle(cat *interest.Catalog, pop int64) AudienceOracle {
+	return catalogOracle{cat: cat, pop: pop}
+}
+
 // NewRiskReport builds the report for a user: each interest's audience size
 // is retrieved from the catalog at the given population scale and sorted
 // ascending (most dangerous first), as the extension displays it.
 func NewRiskReport(u *population.User, cat *interest.Catalog, pop int64) (*RiskReport, error) {
-	if u == nil || cat == nil {
-		return nil, errors.New("fdvt: user and catalog are required")
+	if cat == nil {
+		return nil, errors.New("fdvt: catalog is required")
 	}
-	if pop <= 0 {
+	return NewRiskReportFrom(u, catalogOracle{cat: cat, pop: pop})
+}
+
+// NewRiskReportFrom builds the report against an audience oracle — in the
+// assembled system, the shared audience engine, so every subsystem scores
+// against the same numbers.
+func NewRiskReportFrom(u *population.User, src AudienceOracle) (*RiskReport, error) {
+	if u == nil || src == nil || src.Catalog() == nil {
+		return nil, errors.New("fdvt: user and audience oracle are required")
+	}
+	if src.Population() <= 0 {
 		return nil, errors.New("fdvt: population must be positive")
 	}
+	cat := src.Catalog()
 	rep := &RiskReport{user: u, byID: make(map[interest.ID]int, len(u.Interests))}
 	for _, id := range u.Interests {
 		in, err := cat.Get(id)
 		if err != nil {
 			return nil, fmt.Errorf("fdvt: profile references %v: %w", id, err)
 		}
-		aud := cat.AudienceSize(id, pop)
+		aud := src.InterestAudience(id)
 		rep.entries = append(rep.entries, RiskEntry{
 			Interest: in,
 			Audience: aud,

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 
-	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
 )
@@ -27,17 +26,18 @@ type PanelRiskSummary struct {
 	MaxHighPerUser int
 }
 
-// ScanPanel builds the per-user §6 risk reports for every panel user,
+// ScanPanel builds the per-user §6 risk reports for every panel user against
+// an audience oracle (in the assembled system, the shared audience engine),
 // fanning users out over `workers` goroutines (0 = one per core,
-// 1 = sequential). Scoring only reads the catalog, so the scan is
-// embarrassingly parallel and its output is order-independent: reports are
-// returned indexed like users.
-func ScanPanel(users []*population.User, cat *interest.Catalog, pop int64, workers int) ([]*RiskReport, error) {
+// 1 = sequential). The oracle must be safe for concurrent queries (the
+// engine is); the scan's output is order-independent: reports are returned
+// indexed like users.
+func ScanPanel(users []*population.User, src AudienceOracle, workers int) ([]*RiskReport, error) {
 	if len(users) == 0 {
 		return nil, errors.New("fdvt: no users to scan")
 	}
 	return parallel.Map(context.Background(), len(users), workers, func(i int) (*RiskReport, error) {
-		return NewRiskReport(users[i], cat, pop)
+		return NewRiskReportFrom(users[i], src)
 	})
 }
 

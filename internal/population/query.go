@@ -81,6 +81,29 @@ func (q *Query) Clone() *Query {
 	return cp
 }
 
+// Survivors returns a copy of the per-grid-point survivor products — the
+// complete evaluation state of the conjunction built so far. A caller can
+// store it and later rebuild the query with Model.ResumeQuery; because the
+// vector captures the exact floating-point state, resuming and extending is
+// bit-identical to having evaluated the longer conjunction directly.
+func (q *Query) Survivors() []float64 {
+	out := make([]float64, len(q.partial))
+	copy(out, q.partial)
+	return out
+}
+
+// ResumeQuery reconstructs a query from a survivor vector previously
+// obtained via Survivors (n is the number of interests it accumulated).
+// The slice is copied; the caller's copy stays untouched.
+func (m *Model) ResumeQuery(survivors []float64, n int) *Query {
+	if len(survivors) != len(m.actT) {
+		panic("population: ResumeQuery survivor vector does not match the activity grid")
+	}
+	q := &Query{m: m, partial: make([]float64, len(survivors)), n: n}
+	copy(q.partial, survivors)
+	return q
+}
+
 // ConjunctionShare evaluates the audience share of an interest set directly.
 func (m *Model) ConjunctionShare(ids []interest.ID) float64 {
 	q := m.NewQuery()
@@ -125,11 +148,18 @@ func (m *Model) ExpectedAudience(f DemoFilter, ids []interest.ID) float64 {
 // for the uniqueness study, where every queried combination comes from a
 // real profile (§4.1).
 func (m *Model) ExpectedAudienceConditional(f DemoFilter, ids []interest.ID) float64 {
+	return m.ConditionalAudienceFromShare(f, m.ConjunctionShare(ids))
+}
+
+// ConditionalAudienceFromShare is ExpectedAudienceConditional for a
+// conjunction share p that has already been evaluated (e.g. served from the
+// audience cache): 1 + (Pop·demoShare − 1)·p.
+func (m *Model) ConditionalAudienceFromShare(f DemoFilter, p float64) float64 {
 	base := float64(m.pop)*m.DemoShare(f) - 1
 	if base < 0 {
 		base = 0
 	}
-	return 1 + base*m.ConjunctionShare(ids)
+	return 1 + base*p
 }
 
 // RealizeAudience draws a concrete audience size for a campaign whose
@@ -138,10 +168,17 @@ func (m *Model) ExpectedAudienceConditional(f DemoFilter, ids []interest.ID) flo
 // This is the delivery-time counterpart of ExpectedAudienceConditional —
 // "reached exactly 1 user" is a random event, as in the paper's Table 2.
 func (m *Model) RealizeAudience(f DemoFilter, ids []interest.ID, r *rng.Rand) int64 {
+	return m.RealizeAudienceFromShare(f, m.ConjunctionShare(ids), r)
+}
+
+// RealizeAudienceFromShare is RealizeAudience for a precomputed conjunction
+// share p. Splitting the (deterministic, cacheable) share evaluation from
+// the (stochastic) realization lets the audience engine cache the former
+// without perturbing the latter's random stream.
+func (m *Model) RealizeAudienceFromShare(f DemoFilter, p float64, r *rng.Rand) int64 {
 	n := int64(float64(m.pop) * m.DemoShare(f))
 	if n < 1 {
 		n = 1
 	}
-	p := m.ConjunctionShare(ids)
 	return 1 + dist.Binomial(r, n-1, p)
 }

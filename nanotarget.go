@@ -27,6 +27,7 @@ import (
 	"io"
 	"math"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/core"
 	"nanotarget/internal/fdvt"
 	"nanotarget/internal/interest"
@@ -37,6 +38,7 @@ import (
 // World is a calibrated synthetic Facebook with a research panel.
 type World struct {
 	model       *population.Model
+	audience    *audience.Engine
 	panel       *fdvt.Panel
 	root        *rng.Rand
 	parallelism int
@@ -51,6 +53,8 @@ type config struct {
 	panelSize     int
 	profileMedian float64
 	parallelism   int
+	cacheOff      bool
+	cacheCapacity int
 }
 
 // Option customizes world construction.
@@ -80,6 +84,20 @@ func WithPanelSize(n int) Option { return func(c *config) { c.panelSize = n } }
 // WithProfileMedian sets the median interests-per-panel-user (default 426).
 // Scale this down together with WithCatalogSize for fast demo worlds.
 func WithProfileMedian(m float64) Option { return func(c *config) { c.profileMedian = m } }
+
+// WithAudienceCache toggles the shared audience-query cache (default on).
+// Off reproduces the pre-engine behaviour: every audience evaluation
+// recomputes the full activity-grid product. Results are byte-identical
+// either way under a fixed seed (the engine's determinism contract, gated
+// by determinism_test.go); only wall time changes.
+func WithAudienceCache(on bool) Option { return func(c *config) { c.cacheOff = !on } }
+
+// WithAudienceCacheCapacity sets how many conjunction prefixes the audience
+// cache retains (default audience.DefaultCapacity). Each entry holds one
+// survivor vector of ActivityGrid float64s.
+func WithAudienceCacheCapacity(n int) Option {
+	return func(c *config) { c.cacheCapacity = n }
+}
 
 // WithParallelism sets the worker count used by every study and experiment
 // the world runs (default 0 = runtime.GOMAXPROCS(0), i.e. one worker per
@@ -138,7 +156,11 @@ func NewWorld(opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nanotarget: building panel: %w", err)
 	}
-	return &World{model: model, panel: panel, root: root, parallelism: cfg.parallelism}, nil
+	aud := audience.New(model, audience.Options{
+		Capacity: cfg.cacheCapacity,
+		Disabled: cfg.cacheOff,
+	})
+	return &World{model: model, audience: aud, panel: panel, root: root, parallelism: cfg.parallelism}, nil
 }
 
 // Parallelism returns the world's worker count knob (0 = one per core).
@@ -169,6 +191,14 @@ func (w *World) DescribePanel() string { return w.panel.Describe().String() }
 // (cmd tools and benchmarks); library consumers should prefer the World
 // methods.
 func (w *World) Model() *population.Model { return w.model }
+
+// Audience exposes the shared audience-query engine every study and
+// experiment the world runs evaluates through.
+func (w *World) Audience() *audience.Engine { return w.audience }
+
+// AudienceCacheStats snapshots the audience cache counters (zero value when
+// the cache is disabled via WithAudienceCache(false)).
+func (w *World) AudienceCacheStats() audience.Stats { return w.audience.Stats() }
 
 // PanelUsers exposes the panel for advanced, in-module use.
 func (w *World) PanelUsers() []*population.User { return w.panel.Users }
@@ -201,8 +231,28 @@ func (w *World) PotentialReach(interestNames []string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	src := core.NewModelSource(w.model)
+	src := core.NewEngineSource(w.audience)
 	return src.PotentialReach(ids)
+}
+
+// PotentialReachBatch evaluates many conjunctions (each a list of interest
+// display names) in one call, fanning out over the world's parallelism knob
+// and sharing the audience cache. Results are in input order.
+func (w *World) PotentialReachBatch(batches [][]string) ([]int64, error) {
+	src := core.NewEngineSource(w.audience)
+	specs := make([][]interest.ID, len(batches))
+	for i, names := range batches {
+		ids, err := w.resolve(names)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = ids
+	}
+	out := make([]int64, len(specs))
+	for i, p := range w.audience.EvalBatch(specs, w.parallelism) {
+		out[i] = src.ClampConditional(p)
+	}
+	return out, nil
 }
 
 // RandomInterestsOf simulates attacker knowledge: n interests of panel user
@@ -357,7 +407,7 @@ func (w *World) EstimateUniqueness(opts UniquenessOptions) (*UniquenessStudy, er
 		Rand:           w.root.Derive("uniqueness"),
 		Parallelism:    w.workers(opts.Parallelism),
 	}
-	res, err := core.RunStudy(w.panel.Users, core.NewModelSource(w.model), cfg)
+	res, err := core.RunStudy(w.panel.Users, core.NewEngineSource(w.audience), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +461,7 @@ func (w *World) GroupUniqueness(g Grouping, p float64, bootstrapIters int) ([]Gr
 	if bootstrapIters <= 0 {
 		bootstrapIters = 500
 	}
-	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewModelSource(w.model),
+	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewEngineSource(w.audience),
 		groups, []core.Selector{core.LeastPopular{}, core.Random{}}, p,
 		bootstrapIters, w.root.Derive("groups"), w.parallelism)
 	if err != nil {
@@ -479,7 +529,7 @@ func (w *World) EstimateDemographicBoost(opts DemographicKnowledgeOptions) (Demo
 	}
 	study, err := core.RunDemographicStudy(
 		w.panel.Users,
-		core.NewModelSource(w.model),
+		core.NewEngineSource(w.audience),
 		know.Fn(),
 		opts.P,
 		opts.BootstrapIters,
