@@ -7,7 +7,7 @@ GO ?= go
 # it: run `make cover`, note the "total:" line, and bump the floor to about
 # one point below the new total so unrelated refactors don't flap the gate.
 # Never lower it to make a PR pass — add tests instead.
-COVERAGE_FLOOR ?= 73.0
+COVERAGE_FLOOR ?= 73.1
 
 .PHONY: all build test bench bench-smoke bench-audience cover fuzz-smoke lint fmt clean
 
@@ -44,7 +44,8 @@ FUZZ_TARGETS = \
 	FuzzParseFBInterestID:./internal/adsapi \
 	FuzzReachEstimateHandler:./internal/adsapi \
 	FuzzConjunctionKey:./internal/audience \
-	FuzzKeyOrderSensitivity:./internal/audience
+	FuzzKeyOrderSensitivity:./internal/audience \
+	FuzzCompositeKey:./internal/audience
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \

@@ -303,6 +303,42 @@ func (w *World) PanelRisk() (PanelRiskSummary, error) {
 	return out, nil
 }
 
+// PanelRiskSliced is PanelRisk with each user's interests scored inside
+// their own demographic slice (country, gender, age band) instead of
+// worldwide — the §9 attacker's view, where demographic knowledge shrinks
+// every audience before the first interest is probed. Slice shares are
+// served from the audience engine's cached demo level, so users sharing a
+// slice cost one filter evaluation.
+func (w *World) PanelRiskSliced() (PanelRiskSummary, error) {
+	filterFor := func(u *population.User) population.DemoFilter {
+		var f population.DemoFilter
+		if u.Country != "" {
+			f.Countries = []string{u.Country}
+		}
+		if u.Gender != population.GenderUndisclosed {
+			f.Genders = []population.Gender{u.Gender}
+		}
+		f.AgeMin, f.AgeMax = population.GroupForAge(u.Age).Bounds()
+		return f
+	}
+	reports, err := fdvt.ScanPanelSliced(w.panel.Users, w.audience, filterFor, w.parallelism)
+	if err != nil {
+		return PanelRiskSummary{}, err
+	}
+	sum := fdvt.SummarizeRisk(reports)
+	out := PanelRiskSummary{
+		Users:         sum.Users,
+		Interests:     sum.Interests,
+		ByLevel:       make(map[string]int, len(sum.ByLevel)),
+		UsersWithRed:  sum.UsersWithHigh,
+		MaxRedPerUser: sum.MaxHighPerUser,
+	}
+	for lvl, n := range sum.ByLevel {
+		out.ByLevel[lvl.String()] = n
+	}
+	return out, nil
+}
+
 // --- Countermeasures (§8.3) ---
 
 // PolicyOutcome summarizes one countermeasure's protective effect.

@@ -493,6 +493,66 @@ func BenchmarkAudienceQueries(b *testing.B) {
 	})
 }
 
+// audiencePermutedWorkload builds the ADVERSARIAL probe pattern of the
+// reach-estimate abuse literature (Faizullabhoy & Korolova; reused on
+// LinkedIn by Merino et al.): a fixed collection of interest SETS, each
+// re-queried under fresh random orderings, so semantically identical
+// queries share no ordered prefix. Each pass holds one new permutation per
+// set; cycling passes keeps the orderings novel for many iterations, which
+// is what defeats the ordered-prefix cache (every pass inserts sets*n fresh
+// prefixes, so old orderings are evicted long before they could repeat).
+func audiencePermutedWorkload(cat *interest.Catalog, sets, n, passes int, seed uint64) [][][]interest.ID {
+	r := rng.New(seed)
+	bases := make([][]interest.ID, sets)
+	for u := range bases {
+		base := make([]interest.ID, n)
+		for i := range base {
+			base[i] = interest.ID((u*4409 + i*811) % cat.Len())
+		}
+		bases[u] = base
+	}
+	out := make([][][]interest.ID, passes)
+	for p := range out {
+		pass := make([][]interest.ID, sets)
+		for u, base := range bases {
+			perm := append([]interest.ID{}, base...)
+			r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			pass[u] = perm
+		}
+		out[p] = pass
+	}
+	return out
+}
+
+// BenchmarkAudiencePermuted is the acceptance benchmark for the set-level
+// cache: the adversarial permuted-probe workload above, served warm by an
+// exact-mode engine (permutations miss the ordered level and re-evaluate)
+// versus a canonical-mode engine (every permutation of a warmed set hits
+// one set-level entry). The canonical/exact ratio is the headline number in
+// BENCH_audience.json; CI gates it at >= 2x, the recorded margin is far
+// larger.
+func BenchmarkAudiencePermuted(b *testing.B) {
+	w := getBenchWorld(b)
+	m := w.Model()
+	passes := audiencePermutedWorkload(m.Catalog(), 40, 18, 16, 123)
+	for _, mode := range []audience.Mode{audience.ModeExact, audience.ModeCanonical} {
+		b.Run(mode.String(), func(b *testing.B) {
+			eng := audience.New(m, audience.Options{Mode: mode})
+			for _, q := range passes[0] {
+				eng.ConjunctionShare(q) // warm: every SET is now known
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range passes[1+i%(len(passes)-1)] {
+					if eng.ConjunctionShare(q) < 0 {
+						b.Fatal("negative share")
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAudienceBatch measures EvalBatch fan-out: the same cold probe
 // workload evaluated sequentially versus over one worker per core.
 func BenchmarkAudienceBatch(b *testing.B) {

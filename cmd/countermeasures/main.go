@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nanotarget"
+	"nanotarget/internal/audience"
 	"nanotarget/internal/report"
 )
 
@@ -32,9 +33,14 @@ func main() {
 		sweep       = flag.Bool("sweep", false, "sweep the max-interests cap from 5 to 25")
 		workers     = flag.Int("workers", 0, "worker goroutines for attack replay (0 = one per core, 1 = sequential)")
 		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
+		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
 	)
 	flag.Parse()
 
+	mode, err := audience.ParseMode(*cacheMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	w, err := nanotarget.NewWorld(
 		nanotarget.WithSeed(*seed),
@@ -42,6 +48,7 @@ func main() {
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithParallelism(*workers),
 		nanotarget.WithAudienceCache(*cache),
+		nanotarget.WithAudienceCacheMode(mode),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -37,8 +37,14 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "world seed")
 		cache       = flag.Bool("cache", true, "enable the reach-estimate audience cache (false = recompute every query; results are identical)")
 		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
+		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
 	)
 	flag.Parse()
+
+	mode, err := audience.ParseMode(*cacheMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var eraCfg adsapi.Era
 	switch *era {
@@ -70,7 +76,7 @@ func main() {
 	if *tokens != "" {
 		tokenList = strings.Split(*tokens, ",")
 	}
-	aud := audience.New(model, audience.Options{Capacity: *cacheCap, Disabled: !*cache})
+	aud := audience.New(model, audience.Options{Capacity: *cacheCap, Mode: mode, Disabled: !*cache})
 	srv, err := adsapi.NewServer(adsapi.ServerConfig{
 		Model:     model,
 		Audience:  aud,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nanotarget"
+	"nanotarget/internal/audience"
 )
 
 func main() {
@@ -26,9 +27,15 @@ func main() {
 		scan        = flag.Bool("scan", false, "also risk-scan the whole panel and print the operator summary")
 		workers     = flag.Int("workers", 0, "worker goroutines for the panel scan (0 = one per core, 1 = sequential)")
 		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
+		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
+		slice       = flag.Bool("slice", false, "with -scan: also score each user inside their own demographic slice (the \u00a79 attacker view)")
 	)
 	flag.Parse()
 
+	mode, err := audience.ParseMode(*cacheMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	w, err := nanotarget.NewWorld(
 		nanotarget.WithSeed(*seed),
@@ -37,6 +44,7 @@ func main() {
 		nanotarget.WithProfileMedian(200),
 		nanotarget.WithParallelism(*workers),
 		nanotarget.WithAudienceCache(*cache),
+		nanotarget.WithAudienceCacheMode(mode),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -75,6 +83,19 @@ func main() {
 			sum.ByLevel["red"], sum.ByLevel["orange"], sum.ByLevel["yellow"], sum.ByLevel["green"])
 		fmt.Printf("%d users hold at least one red interest (max %d on one profile)\n",
 			sum.UsersWithRed, sum.MaxRedPerUser)
+		if *slice {
+			start = time.Now()
+			sliced, err := w.PanelRiskSliced()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\ndemographic-slice scan (§9 attacker view) in %v\n",
+				time.Since(start).Round(time.Millisecond))
+			fmt.Printf("red: %d  orange: %d  yellow: %d  green: %d\n",
+				sliced.ByLevel["red"], sliced.ByLevel["orange"], sliced.ByLevel["yellow"], sliced.ByLevel["green"])
+			fmt.Printf("%d users hold at least one red interest inside their slice (worldwide: %d)\n",
+				sliced.UsersWithRed, sum.UsersWithRed)
+		}
 	}
 
 	if *level == "" {

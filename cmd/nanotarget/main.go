@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nanotarget"
+	"nanotarget/internal/audience"
 	"nanotarget/internal/report"
 )
 
@@ -30,9 +31,14 @@ func main() {
 		runs        = flag.Int("runs", 1, "number of experiment repetitions")
 		workers     = flag.Int("workers", 0, "worker goroutines for campaign fan-out (0 = one per core, 1 = sequential)")
 		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
+		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
 	)
 	flag.Parse()
 
+	mode, err := audience.ParseMode(*cacheMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	w, err := nanotarget.NewWorld(
 		nanotarget.WithSeed(*seed),
@@ -41,6 +47,7 @@ func main() {
 		nanotarget.WithPopulation(*pop),
 		nanotarget.WithParallelism(*workers),
 		nanotarget.WithAudienceCache(*cache),
+		nanotarget.WithAudienceCacheMode(mode),
 	)
 	if err != nil {
 		log.Fatal(err)

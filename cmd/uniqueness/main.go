@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nanotarget"
+	"nanotarget/internal/audience"
 	"nanotarget/internal/report"
 )
 
@@ -35,9 +36,14 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
 		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
 		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
+		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
 	)
 	flag.Parse()
 
+	mode, err := audience.ParseMode(*cacheMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	w, err := nanotarget.NewWorld(
 		nanotarget.WithSeed(*seed),
@@ -46,6 +52,7 @@ func main() {
 		nanotarget.WithParallelism(*workers),
 		nanotarget.WithAudienceCache(*cache),
 		nanotarget.WithAudienceCacheCapacity(*cacheCap),
+		nanotarget.WithAudienceCacheMode(mode),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -59,8 +66,11 @@ func main() {
 	}
 	fmt.Printf("study completed in %v\n", time.Since(start).Round(time.Millisecond))
 	if st := w.AudienceCacheStats(); *cache {
-		fmt.Printf("audience cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d/%d entries)\n",
-			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, st.Entries, st.Capacity)
+		total := st.Total()
+		fmt.Printf("audience cache (%s): %.1f%% hit rate (%d hits, %d misses, %d evictions, %d/%d entries)\n",
+			mode, 100*total.HitRate(), total.Hits, total.Misses, total.Evictions, total.Entries, total.Capacity)
+		fmt.Printf("  per level: prefix %d/%d set %d/%d demo %d/%d (hits/misses)\n",
+			st.Prefix.Hits, st.Prefix.Misses, st.Set.Hits, st.Set.Misses, st.Demo.Hits, st.Demo.Misses)
 	}
 	fmt.Println()
 

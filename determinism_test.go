@@ -8,9 +8,12 @@ package nanotarget
 
 import (
 	"math"
+	"slices"
 	"testing"
 
+	"nanotarget/internal/audience"
 	"nanotarget/internal/core"
+	"nanotarget/internal/interest"
 	"nanotarget/internal/rng"
 	"nanotarget/internal/stats"
 )
@@ -214,7 +217,7 @@ func TestAudienceCacheCollectIsByteIdentical(t *testing.T) {
 					seed, sel.Name(), est1, est2)
 			}
 		}
-		if st := wOn.AudienceCacheStats(); st.Hits == 0 {
+		if st := wOn.AudienceCacheStats(); st.Total().Hits == 0 {
 			t.Fatalf("seed %d: cache saw no hits; the gate is vacuous (%+v)", seed, st)
 		}
 	}
@@ -249,7 +252,7 @@ func TestAudienceCacheNanotargetingIsByteIdentical(t *testing.T) {
 		if cached.Successes != plain.Successes || cached.TotalCostCents != plain.TotalCostCents {
 			t.Fatalf("seed %d: aggregates diverged", seed)
 		}
-		if st := wOn.AudienceCacheStats(); st.Hits == 0 {
+		if st := wOn.AudienceCacheStats(); st.Total().Hits == 0 {
 			t.Fatalf("seed %d: nested campaign subsets should share cached prefixes (%+v)", seed, st)
 		}
 	}
@@ -277,8 +280,67 @@ func TestAudienceCachePolicyEvaluationIsByteIdentical(t *testing.T) {
 					seed, plain[i].Policy, cached[i], plain[i])
 			}
 		}
-		if st := wOn.AudienceCacheStats(); st.Hits == 0 {
+		if st := wOn.AudienceCacheStats(); st.Total().Hits == 0 {
 			t.Fatalf("seed %d: policy replay should re-realize cached conjunctions (%+v)", seed, st)
+		}
+	}
+}
+
+// TestCanonicalModeWorkersSelfConsistent gates the relaxed ModeCanonical
+// contract the way the exact gates above gate bit-identity: a canonical
+// engine evaluating an adversarial permuted-probe workload must return
+// byte-identical shares at workers 1 and 4, across separate engine
+// instances (so the property cannot lean on shared cache state), and
+// byte-identical to the sorted-order model evaluation that defines the
+// canonical value. The default mode remains Exact — the cache-on ≡
+// cache-off gates above are unchanged and keep holding.
+func TestCanonicalModeWorkersSelfConsistent(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		w := detWorld(t, seed)
+		if w.AudienceCacheMode() != audience.ModeExact {
+			t.Fatal("worlds must default to the exact cache mode")
+		}
+		m := w.Model()
+		r := rng.New(seed ^ 0xC0FFEE)
+		// 30 interest sets, each probed under 6 different orderings,
+		// interleaved so concurrent workers race on the same sets.
+		var queries [][]interest.ID
+		for s := 0; s < 30; s++ {
+			n := 3 + r.Intn(10)
+			base := make([]interest.ID, n)
+			for i := range base {
+				base[i] = interest.ID(r.Intn(m.Catalog().Len()))
+			}
+			for p := 0; p < 6; p++ {
+				perm := append([]interest.ID{}, base...)
+				r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				queries = append(queries, perm)
+			}
+		}
+		var baseline []float64
+		for _, workers := range []int{1, 4} {
+			eng := audience.Canonical(m) // fresh engine per worker count
+			out := eng.EvalBatch(queries, workers)
+			if baseline == nil {
+				baseline = out
+				// The canonical value is defined as the exact share of the
+				// sorted ordering; check it for every query once.
+				for qi, q := range queries {
+					sorted := append([]interest.ID{}, q...)
+					slices.Sort(sorted)
+					if want := m.ConjunctionShare(sorted); !sameFloat(out[qi], want) {
+						t.Fatalf("seed %d query %d: canonical %v != sorted-order model %v",
+							seed, qi, out[qi], want)
+					}
+				}
+				continue
+			}
+			for qi := range baseline {
+				if !sameFloat(out[qi], baseline[qi]) {
+					t.Fatalf("seed %d query %d: workers=4 %v != workers=1 %v",
+						seed, qi, out[qi], baseline[qi])
+				}
+			}
 		}
 	}
 }

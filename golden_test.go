@@ -112,6 +112,30 @@ func TestGoldenUniquenessCurve(t *testing.T) {
 	}
 }
 
+// TestGoldenDemographicBoost pins the Appendix C / §9 demographic-boost
+// study: N_0.9 from random interests alone versus with the attacker also
+// targeting the victim's country, gender and age (±1 year). These numbers
+// now route through the audience engine's cached demo and prefix levels
+// (PR 3); the pins hold the rewiring to the byte (the study is also gated
+// cache-on ≡ cache-off by construction — demo-share memoization is pure).
+func TestGoldenDemographicBoost(t *testing.T) {
+	w := goldenWorld(t)
+	boost, err := w.EstimateDemographicBoost(DemographicKnowledgeOptions{
+		Country: true, Gender: true, AgeYears: true, AgeSlack: 1,
+		P: 0.9, BootstrapIters: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeRel(t, "boost P", boost.P, 0.9)
+	closeRel(t, "boost interest-only N_0.9", boost.InterestOnly, 19.84935720)
+	closeRel(t, "boost with-demographics N_0.9", boost.WithDemographics, 7.643987897)
+	closeRel(t, "boost saved interests", boost.Saved, 12.20536931)
+	if st := w.AudienceCacheStats(); st.Demo.Hits == 0 {
+		t.Fatalf("demographic study never hit the demo level; the pin is not exercising the cache (%+v)", st)
+	}
+}
+
 // TestGoldenFDVTRiskCounts pins the §6 panel risk scan: how many scored
 // interests land in each risk band, and how exposed the panel is (users
 // holding at least one red, ≤10k-audience, interest).

@@ -21,8 +21,16 @@ type ServerConfig struct {
 	// through. Nil builds a cached engine over Model (the default: attacker
 	// probe loops re-query overlapping conjunction prefixes constantly, so
 	// hit rates are high). Pass audience.Disabled(model) for the uncached
-	// legacy behaviour; estimates are bit-identical either way.
+	// legacy behaviour; estimates are bit-identical either way in the
+	// engine's exact mode.
 	Audience *audience.Engine
+	// CacheMode selects the caching contract of the default engine built
+	// when Audience is nil: audience.ModeExact (default, byte-identical) or
+	// audience.ModeCanonical (permutation-invariant set-level caching, so
+	// the Faizullabhoy–Korolova permuted re-probe workload hits; estimates
+	// may differ from exact within audience.MaxCanonicalRelativeError).
+	// Ignored when Audience is supplied — the engine's own mode governs.
+	CacheMode audience.Mode
 	// Era selects platform rules (default Era2017).
 	Era Era
 	// Tokens is the set of valid access tokens. Empty disables auth
@@ -86,7 +94,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	if cfg.Audience == nil {
-		cfg.Audience = audience.Cached(cfg.Model)
+		cfg.Audience = audience.New(cfg.Model, audience.Options{Mode: cfg.CacheMode})
 	} else if cfg.Audience.Model() != cfg.Model {
 		return nil, errors.New("adsapi: ServerConfig.Audience is backed by a different model")
 	}
@@ -278,7 +286,7 @@ func (s *Server) estimateReach(spec TargetingSpec) (int64, error) {
 	}
 	m := s.cfg.Model
 	filter := spec.DemoFilter()
-	base := float64(m.Population())*m.DemoShare(filter) - 1
+	base := float64(m.Population())*s.aud.DemoShare(filter) - 1
 	if base < 0 {
 		base = 0
 	}

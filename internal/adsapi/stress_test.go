@@ -177,7 +177,7 @@ func TestServerConcurrentStress(t *testing.T) {
 	}
 	// The cache must have been shared across clients: far fewer misses than
 	// probes, and plenty of hits.
-	st := srv.AudienceStats()
+	st := srv.AudienceStats().Total()
 	if st.Hits == 0 {
 		t.Fatalf("audience cache saw no hits under prefix-heavy load: %+v", st)
 	}

@@ -9,29 +9,47 @@
 // uniqueness study (internal/core) — issues the same query an attacker
 // issues thousands of times while probing conjunctions toward uniqueness:
 // "how many users hold all of these interests?". The engine serves that
-// query once and remembers it:
+// query once and remembers it, across three cache levels:
 //
-//   - interest-sequence keys are canonically encoded and interned (key.go);
-//   - a sharded LRU cache (cache.go) holds evaluated conjunction PREFIXES,
-//     with hit/miss/eviction counters exposed via Stats();
-//   - extending a cached conjunction S to S∪{i} resumes S's per-grid-point
-//     survivor weights instead of recomputing the whole activity-grid
-//     product — an O(grid) extension instead of O(|S|·grid);
-//   - EvalBatch fans independent queries out over internal/parallel.
+//   - Prefix: interest-sequence keys are canonically encoded and interned
+//     (key.go); a sharded LRU (cache.go) holds evaluated conjunction
+//     PREFIXES. Extending a cached conjunction S to S∪{i} resumes S's
+//     per-grid-point survivor weights instead of recomputing the whole
+//     activity-grid product — an O(grid) extension instead of O(|S|·grid).
+//   - Set (ModeCanonical only): whole-conjunction shares keyed by the
+//     SORTED interest set, so the adversarial permuted re-probes of §4 /
+//     Appendix C — semantically identical queries under arbitrary interest
+//     orderings — hit one entry instead of missing the ordered level.
+//   - Demo: demographic-filter shares and composite (DemoFilter,
+//     conjunction) conditional audiences, extending caching to the
+//     filter-dependent Appendix C scans.
+//
+// Per-level hit/miss/eviction counters are exposed via Stats(); EvalBatch
+// fans independent queries out over internal/parallel.
 //
 // # Determinism contract
 //
-// The cache is byte-invisible: a cached result is bit-identical to what an
-// uncached evaluation would have produced, for any interleaving of
-// concurrent queries. This holds because (a) keys preserve query order, so
-// a cached survivor vector is exactly the floating-point state the direct
-// evaluation would have reached, and (b) entries are immutable, so racing
-// writers can only ever insert identical bits. determinism_test.go gates
+// In ModeExact (the default) the cache is byte-invisible: a cached result is
+// bit-identical to what an uncached evaluation would have produced, for any
+// interleaving of concurrent queries. This holds because (a) keys preserve
+// query order, so a cached survivor vector is exactly the floating-point
+// state the direct evaluation would have reached, (b) entries are immutable,
+// so racing writers can only ever insert identical bits, and (c) the demo
+// level only memoizes pure functions of its key. determinism_test.go gates
 // cache-on == cache-off across the full pipeline for seeds {0, 1, 42}.
+//
+// ModeCanonical relaxes (a) for ConjunctionShare and everything derived from
+// it: the engine evaluates the sorted permutation of the query, making the
+// result a pure function of the interest SET — byte-identical across every
+// ordering, every worker count, every engine instance and every cache state,
+// but within MaxCanonicalRelativeError of the ModeExact value rather than
+// bit-equal to it. See Mode's documentation for when each contract is the
+// right one.
 package audience
 
 import (
 	"context"
+	"sort"
 
 	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
@@ -44,25 +62,58 @@ import (
 // weights, so the default cache tops out around 32 MiB.
 const DefaultCapacity = 8192
 
-// DefaultShards is the default lock-domain count of the cache.
+// DefaultSetCapacity is the default number of cached canonical sets
+// (ModeCanonical). Set entries hold only a key and a share — tens of bytes —
+// so the set level can afford an order of magnitude more entries than the
+// survivor-vector level.
+const DefaultSetCapacity = 65536
+
+// DefaultDemoCapacity is the default number of cached demographic values
+// (filter shares plus composite conditional audiences); entries are as small
+// as set entries.
+const DefaultDemoCapacity = 16384
+
+// DefaultShards is the default lock-domain count of each cache level.
 const DefaultShards = 16
+
+// Demo-level kind tags: the first key byte distinguishes what a cached value
+// means, so a filter share can never alias a conditional audience over a
+// (filter, conjunction) pair whose conjunction is empty.
+const (
+	demoKindShare byte = 'F' // DemoShare(f), keyed by the filter alone
+	demoKindCond  byte = 'C' // ExpectedAudienceConditional(f, ids)
+)
 
 // Options configures an Engine.
 type Options struct {
 	// Capacity is the total number of cached prefixes across all shards
 	// (0 = DefaultCapacity). Negative disables caching entirely.
 	Capacity int
-	// Shards is the number of cache lock domains (0 = DefaultShards).
+	// SetCapacity sizes the canonical set level (0 = DefaultSetCapacity).
+	// Only used in ModeCanonical.
+	SetCapacity int
+	// DemoCapacity sizes the demographic level (0 = DefaultDemoCapacity).
+	DemoCapacity int
+	// Shards is the number of cache lock domains per level
+	// (0 = DefaultShards).
 	Shards int
+	// Mode selects the caching contract: ModeExact (default, byte-identical
+	// ordered path) or ModeCanonical (permutation-invariant set path within
+	// MaxCanonicalRelativeError of exact).
+	Mode Mode
 	// Disabled turns the cache off: every call delegates straight to the
-	// model — exactly the pre-engine behaviour.
+	// model — exactly the pre-engine behaviour. Mode is irrelevant when
+	// disabled (an uncached evaluation is always exact).
 	Disabled bool
 }
 
 // Engine is the cached audience oracle. It is safe for concurrent use.
 type Engine struct {
 	model *population.Model
-	cache *cache // nil when disabled
+	mode  Mode
+	cache *cache // ordered-prefix level; nil when disabled
+	sets  *cache // canonical set level; nil unless ModeCanonical
+	demo  *cache // demographic level; nil when disabled
 }
 
 // New builds an engine over the model with the given options.
@@ -70,7 +121,7 @@ func New(m *population.Model, opts Options) *Engine {
 	if m == nil {
 		panic("audience: nil model")
 	}
-	e := &Engine{model: m}
+	e := &Engine{model: m, mode: opts.Mode}
 	if opts.Disabled || opts.Capacity < 0 {
 		return e
 	}
@@ -82,15 +133,28 @@ func New(m *population.Model, opts Options) *Engine {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
-	if shards > capacity {
-		shards = capacity
+	e.cache = newCache(capacity, min(shards, capacity))
+	demoCap := opts.DemoCapacity
+	if demoCap == 0 {
+		demoCap = DefaultDemoCapacity
 	}
-	e.cache = newCache(capacity, shards)
+	e.demo = newCache(demoCap, min(shards, demoCap))
+	if opts.Mode == ModeCanonical {
+		setCap := opts.SetCapacity
+		if setCap == 0 {
+			setCap = DefaultSetCapacity
+		}
+		e.sets = newCache(setCap, min(shards, setCap))
+	}
 	return e
 }
 
-// Cached returns an engine with the default cache configuration.
+// Cached returns an engine with the default cache configuration (ModeExact).
 func Cached(m *population.Model) *Engine { return New(m, Options{}) }
+
+// Canonical returns an engine with the default cache configuration in
+// ModeCanonical: permutation-invariant set-level caching.
+func Canonical(m *population.Model) *Engine { return New(m, Options{Mode: ModeCanonical}) }
 
 // Disabled returns a pass-through engine (no cache, no overhead): the
 // pre-engine behaviour behind the same interface.
@@ -108,29 +172,52 @@ func (e *Engine) Population() int64 { return e.model.Population() }
 // Enabled reports whether the cache is active.
 func (e *Engine) Enabled() bool { return e.cache != nil }
 
-// Stats returns a snapshot of the cache counters (zero value when the cache
-// is disabled).
+// Mode returns the engine's caching contract.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Stats returns a snapshot of the per-level cache counters (zero value when
+// the cache is disabled).
 func (e *Engine) Stats() Stats {
-	if e.cache == nil {
-		return Stats{}
+	var st Stats
+	if e.cache != nil {
+		st.Prefix = e.cache.stats()
 	}
-	return e.cache.stats()
+	if e.sets != nil {
+		st.Set = e.sets.stats()
+	}
+	if e.demo != nil {
+		st.Demo = e.demo.stats()
+	}
+	return st
 }
 
-// Reset drops every cached prefix and zeroes the counters (bench/test use).
+// Reset drops every cached value on every level and zeroes the counters
+// (bench/test use).
 func (e *Engine) Reset() {
-	if e.cache != nil {
-		e.cache.reset()
+	for _, c := range []*cache{e.cache, e.sets, e.demo} {
+		if c != nil {
+			c.reset()
+		}
 	}
 }
 
 // ConjunctionShare returns E_t[∏ q(t, λᵢ)], the fraction of the unfiltered
-// base holding every interest in ids — bit-identical to
-// population.Model.ConjunctionShare, served from the cache when possible.
+// base holding every interest in ids — in ModeExact bit-identical to
+// population.Model.ConjunctionShare, in ModeCanonical bit-identical to the
+// sorted permutation's exact share (so permutation-invariant), served from
+// the cache when possible.
 func (e *Engine) ConjunctionShare(ids []interest.ID) float64 {
 	if e.cache == nil || len(ids) == 0 {
 		return e.model.ConjunctionShare(ids)
 	}
+	if e.mode == ModeCanonical && len(ids) > 1 {
+		return e.canonicalShare(ids)
+	}
+	return e.orderedShare(ids)
+}
+
+// orderedShare is the exact ordered-prefix path.
+func (e *Engine) orderedShare(ids []interest.ID) float64 {
 	// Fast path: the exact conjunction is cached.
 	key := AppendKey(make([]byte, 0, len(ids)*keyBytesPerID), ids)
 	if ent, ok := e.cache.get(key); ok {
@@ -140,9 +227,41 @@ func (e *Engine) ConjunctionShare(ids []interest.ID) float64 {
 	return shares[len(shares)-1]
 }
 
+// canonicalShare evaluates the sorted permutation of ids through the set
+// level, falling back to an ordered-prefix walk of the sorted sequence on a
+// miss. The result depends only on the interest multiset: sorting is
+// deterministic (duplicates keep their multiplicity) and the sorted walk is
+// the exact evaluation of the sorted ordering, so a recomputation after
+// eviction — or on a different engine — returns the same bits.
+func (e *Engine) canonicalShare(ids []interest.ID) float64 {
+	sorted := canonicalOrder(ids)
+	key := AppendKey(make([]byte, 0, len(sorted)*keyBytesPerID), sorted)
+	if ent, ok := e.sets.get(key); ok {
+		return ent.share
+	}
+	shares := e.prefixWalk(sorted, key[:0])
+	share := shares[len(shares)-1]
+	e.sets.put(key, share, nil, len(sorted))
+	return share
+}
+
+// canonicalOrder returns ids in ascending order, reusing the input slice
+// when it is already sorted (the common case for probes grown in catalog
+// order) and copying otherwise — callers' slices are never mutated.
+func canonicalOrder(ids []interest.ID) []interest.ID {
+	if sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+		return ids
+	}
+	sorted := make([]interest.ID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return sorted
+}
+
 // PrefixShares returns the share of every prefix ids[:1], ids[:2], ...,
 // ids[:len(ids)] — the §4.1 collection pattern — reusing and populating the
-// cache along the walk.
+// cache along the walk. Prefix sequences are inherently order-defined, so
+// this path keeps exact ordered semantics in both modes.
 func (e *Engine) PrefixShares(ids []interest.ID) []float64 {
 	if len(ids) == 0 {
 		return nil
@@ -193,10 +312,11 @@ func (e *Engine) prefixWalk(ids []interest.ID, keyBuf []byte) []float64 {
 }
 
 // UnionShare evaluates flexible_spec semantics (clauses ANDed, interests
-// within a clause ORed), bit-identical to
-// population.Model.UnionConjunctionShare. Pure conjunctions — every clause a
-// single interest, the shape the paper's probes use — are routed through the
-// cache; genuine unions are evaluated directly.
+// within a clause ORed), matching population.Model.UnionConjunctionShare.
+// Pure conjunctions — every clause a single interest, the shape the paper's
+// probes use — are routed through ConjunctionShare (and so follow the
+// engine's mode); genuine unions are evaluated directly and are identical in
+// both modes.
 func (e *Engine) UnionShare(clauses [][]interest.ID) float64 {
 	if e.cache == nil {
 		return e.model.UnionConjunctionShare(clauses)
@@ -211,27 +331,59 @@ func (e *Engine) UnionShare(clauses [][]interest.ID) float64 {
 	return e.ConjunctionShare(ids)
 }
 
-// DemoShare returns the demographic filter share (uncached: it is three
-// table lookups).
-func (e *Engine) DemoShare(f population.DemoFilter) float64 { return e.model.DemoShare(f) }
+// DemoShare returns the demographic filter share, memoized on the demo level
+// under the filter's key. Memoizing a pure function is byte-invisible, so
+// this is cached in both modes.
+func (e *Engine) DemoShare(f population.DemoFilter) float64 {
+	if e.demo == nil {
+		return e.model.DemoShare(f)
+	}
+	key := f.AppendKey(append(make([]byte, 0, 32), demoKindShare))
+	if ent, ok := e.demo.get(key); ok {
+		return ent.share
+	}
+	s := e.model.DemoShare(f)
+	e.demo.put(key, s, nil, 0)
+	return s
+}
 
 // ExpectedAudience returns the model-expected number of users matching the
-// filter and holding every interest in ids.
+// filter and holding every interest in ids, composed from the cached
+// demographic share and the (mode-dependent) cached conjunction share.
 func (e *Engine) ExpectedAudience(f population.DemoFilter, ids []interest.ID) float64 {
-	return float64(e.model.Population()) * e.model.DemoShare(f) * e.ConjunctionShare(ids)
+	return float64(e.model.Population()) * e.DemoShare(f) * e.ConjunctionShare(ids)
 }
 
 // ExpectedAudienceConditional returns the §4.1 conditional audience
-// expectation, with the conjunction share served from the cache.
+// expectation, cached whole under the composite (DemoFilter, conjunction)
+// key — the Appendix C demographic-boost scans re-issue identical (filter,
+// prefix) pairs constantly. In ModeCanonical the conjunction half of the key
+// is sorted, so permuted re-probes of one pair share an entry.
 func (e *Engine) ExpectedAudienceConditional(f population.DemoFilter, ids []interest.ID) float64 {
-	return e.model.ConditionalAudienceFromShare(f, e.ConjunctionShare(ids))
+	if e.demo == nil {
+		return e.model.ExpectedAudienceConditional(f, ids)
+	}
+	keyIDs := ids
+	if e.mode == ModeCanonical {
+		keyIDs = canonicalOrder(ids)
+	}
+	key := AppendCompositeKey(append(make([]byte, 0, 32+len(ids)*keyBytesPerID), demoKindCond), f, keyIDs)
+	if ent, ok := e.demo.get(key); ok {
+		return ent.share
+	}
+	// keyIDs is already the mode's evaluation order (canonicalOrder is
+	// idempotent), so evaluating it directly skips a second sort on misses.
+	v := e.model.ConditionalAudienceFromShares(e.DemoShare(f), e.ConjunctionShare(keyIDs))
+	e.demo.put(key, v, nil, len(ids))
+	return v
 }
 
 // RealizeAudience draws a concrete audience size (1 + Binomial(n−1, p)),
-// with the deterministic share cached and the stochastic draw untouched —
-// bit-identical to population.Model.RealizeAudience under the same stream.
+// with the deterministic shares cached and the stochastic draw untouched —
+// in ModeExact bit-identical to population.Model.RealizeAudience under the
+// same stream.
 func (e *Engine) RealizeAudience(f population.DemoFilter, ids []interest.ID, r *rng.Rand) int64 {
-	return e.model.RealizeAudienceFromShare(f, e.ConjunctionShare(ids), r)
+	return e.model.RealizeAudienceFromShares(e.DemoShare(f), e.ConjunctionShare(ids), r)
 }
 
 // InterestAudience returns the worldwide audience size of a single interest
@@ -245,7 +397,8 @@ func (e *Engine) InterestAudience(id interest.ID) int64 {
 // out over the parallel engine (workers: 0 = one per core, 1 = sequential).
 // Results are returned in input order and are bit-identical for any worker
 // count — concurrent evaluations can only ever insert identical bits into
-// the cache.
+// the cache (in ModeCanonical because every entry is a pure function of its
+// key, independent of cache state).
 func (e *Engine) EvalBatch(batch [][]interest.ID, workers int) []float64 {
 	out, _ := parallel.Map(context.Background(), len(batch), workers, func(i int) (float64, error) {
 		return e.ConjunctionShare(batch[i]), nil

@@ -72,8 +72,8 @@ func TestConjunctionShareMatchesModelBits(t *testing.T) {
 		}
 	}
 	st := eng.Stats()
-	if st.Hits == 0 {
-		t.Fatal("second pass should have hit the cache")
+	if st.Prefix.Hits == 0 {
+		t.Fatal("second pass should have hit the prefix cache")
 	}
 }
 
@@ -85,12 +85,12 @@ func TestPrefixExtensionReusesCachedState(t *testing.T) {
 	eng := Cached(m)
 	base := []interest.ID{3, 141, 59, 265, 358, 979, 323, 846}
 	eng.ConjunctionShare(base) // cache all prefixes of base
-	hitsBefore := eng.Stats().Hits
+	hitsBefore := eng.Stats().Prefix.Hits
 	ext := append(append([]interest.ID{}, base...), 1414, 213)
 	if got, want := eng.ConjunctionShare(ext), m.ConjunctionShare(ext); !sameBits(got, want) {
 		t.Fatalf("extended conjunction: engine %v != model %v", got, want)
 	}
-	if eng.Stats().Hits <= hitsBefore {
+	if eng.Stats().Prefix.Hits <= hitsBefore {
 		t.Fatal("extension should have hit the cached base prefix")
 	}
 }
@@ -211,7 +211,7 @@ func TestConcurrentMixedAccess(t *testing.T) {
 	for err := range errc {
 		t.Fatal(err)
 	}
-	st := eng.Stats()
+	st := eng.Stats().Prefix
 	if st.Evictions == 0 {
 		t.Fatalf("expected evictions with capacity 256, got stats %+v", st)
 	}
@@ -227,13 +227,13 @@ func errMismatch(g, i int, got, want float64) error {
 func TestStatsAndReset(t *testing.T) {
 	m := testModel(t)
 	eng := Cached(m)
-	if st := eng.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+	if st := eng.Stats().Total(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
 		t.Fatalf("fresh engine has non-zero stats: %+v", st)
 	}
 	ids := []interest.ID{1, 2, 3}
 	eng.ConjunctionShare(ids)
 	eng.ConjunctionShare(ids)
-	st := eng.Stats()
+	st := eng.Stats().Prefix
 	if st.Misses == 0 || st.Hits == 0 || st.Entries != 3 {
 		t.Fatalf("unexpected stats after two evaluations: %+v", st)
 	}
@@ -241,7 +241,7 @@ func TestStatsAndReset(t *testing.T) {
 		t.Fatalf("hit rate out of range: %v", st.HitRate())
 	}
 	eng.Reset()
-	if st := eng.Stats(); st.Hits != 0 || st.Entries != 0 {
+	if st := eng.Stats().Total(); st.Hits != 0 || st.Entries != 0 {
 		t.Fatalf("reset did not clear stats: %+v", st)
 	}
 	// Disabled engines report zero stats and still answer correctly.
@@ -273,6 +273,110 @@ func TestEmptyAndDegenerateInputs(t *testing.T) {
 	dup := []interest.ID{9, 9, 9}
 	if got, want := eng.ConjunctionShare(dup), m.ConjunctionShare(dup); !sameBits(got, want) {
 		t.Fatalf("duplicate-interest conjunction: %v != %v", got, want)
+	}
+}
+
+// TestCanonicalSetLevel exercises the set cache's mechanics: permuted
+// re-probes hit one entry, the caller's slice is never mutated, duplicates
+// keep their multiplicity, and UnionShare's pure-conjunction path follows
+// the mode.
+func TestCanonicalSetLevel(t *testing.T) {
+	m := testModel(t)
+	eng := Canonical(m)
+	if eng.Mode() != ModeCanonical {
+		t.Fatal("Canonical() engine reports wrong mode")
+	}
+	ids := []interest.ID{900, 3, 512, 77, 1999}
+	orig := append([]interest.ID{}, ids...)
+	want := m.ConjunctionShare([]interest.ID{3, 77, 512, 900, 1999}) // sorted order
+	if got := eng.ConjunctionShare(ids); !sameBits(got, want) {
+		t.Fatalf("canonical share %v != sorted-order model share %v", got, want)
+	}
+	for i := range ids {
+		if ids[i] != orig[i] {
+			t.Fatal("ConjunctionShare mutated the caller's slice")
+		}
+	}
+	if got := eng.ConjunctionShare([]interest.ID{1999, 900, 512, 77, 3}); !sameBits(got, want) {
+		t.Fatal("reversed probe diverged")
+	}
+	st := eng.Stats()
+	if st.Set.Hits == 0 || st.Set.Entries == 0 {
+		t.Fatalf("reversed probe should hit the set level: %+v", st)
+	}
+	// Duplicates are multiplicity-preserving, exactly like the model.
+	dup := []interest.ID{9, 9, 3}
+	if got, want := eng.ConjunctionShare(dup), m.ConjunctionShare([]interest.ID{3, 9, 9}); !sameBits(got, want) {
+		t.Fatalf("duplicate conjunction: %v != %v", got, want)
+	}
+	// UnionShare pure-conjunction path is permutation-invariant too;
+	// genuine unions stay on the direct path in both modes.
+	u1 := eng.UnionShare([][]interest.ID{{42}, {7}, {1000}})
+	u2 := eng.UnionShare([][]interest.ID{{1000}, {42}, {7}})
+	if !sameBits(u1, u2) {
+		t.Fatal("pure-conjunction UnionShare not permutation-invariant in canonical mode")
+	}
+	clauses := [][]interest.ID{{1, 2}, {3}}
+	if got, want := eng.UnionShare(clauses), m.UnionConjunctionShare(clauses); !sameBits(got, want) {
+		t.Fatalf("genuine union diverged from model: %v != %v", got, want)
+	}
+}
+
+// TestDemoLevelMemoization checks the demographic level: DemoShare and the
+// composite-keyed conditional are served from cache with bit-identical
+// values, and filter-only entries never alias composite entries.
+func TestDemoLevelMemoization(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	f := population.DemoFilter{Countries: []string{"ES", "FR"}, AgeMin: 20, AgeMax: 39}
+	want := m.DemoShare(f)
+	for pass := 0; pass < 3; pass++ {
+		if got := eng.DemoShare(f); !sameBits(got, want) {
+			t.Fatalf("pass %d: DemoShare %v != model %v", pass, got, want)
+		}
+	}
+	st := eng.Stats()
+	if st.Demo.Hits < 2 || st.Demo.Entries == 0 {
+		t.Fatalf("DemoShare not memoized: %+v", st)
+	}
+	// The conditional over (f, nil) equals pop·demoShare — a different value
+	// than DemoShare(f); the kind tag must keep the entries apart.
+	condWant := m.ExpectedAudienceConditional(f, nil)
+	if got := eng.ExpectedAudienceConditional(f, nil); !sameBits(got, condWant) {
+		t.Fatalf("conditional over empty conjunction: %v != %v", got, condWant)
+	}
+	if got := eng.DemoShare(f); !sameBits(got, want) {
+		t.Fatal("DemoShare aliased by the composite entry")
+	}
+	// Composite hits must repeat bit-identically.
+	ids := []interest.ID{11, 22, 33}
+	first := eng.ExpectedAudienceConditional(f, ids)
+	if want := m.ExpectedAudienceConditional(f, ids); !sameBits(first, want) {
+		t.Fatalf("composite conditional %v != model %v", first, want)
+	}
+	if again := eng.ExpectedAudienceConditional(f, ids); !sameBits(again, first) {
+		t.Fatal("composite hit drifted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"exact", ModeExact, true},
+		{"canonical", ModeCanonical, true},
+		{"", ModeExact, false},
+		{"Canonical", ModeExact, false},
+	} {
+		got, err := ParseMode(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseMode(%q) = (%v, %v), want (%v, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if ModeExact.String() != "exact" || ModeCanonical.String() != "canonical" {
+		t.Error("Mode.String names drifted from the flag vocabulary")
 	}
 }
 

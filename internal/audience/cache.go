@@ -147,20 +147,20 @@ func (s *shard) moveToFront(e *entry) {
 	s.pushFront(e)
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness.
-type Stats struct {
+// LevelStats is a point-in-time snapshot of one cache level's effectiveness.
+type LevelStats struct {
 	// Hits and Misses count cache probes, including the per-prefix probes a
 	// long conjunction issues while walking toward its longest cached prefix.
 	Hits, Misses uint64
 	// Evictions counts LRU evictions across all shards.
 	Evictions uint64
-	// Entries is the number of cached prefixes right now; Capacity the total
+	// Entries is the number of cached values right now; Capacity the total
 	// the shards can hold.
 	Entries, Capacity int
 }
 
 // HitRate is Hits / (Hits + Misses); 0 when no probes happened.
-func (st Stats) HitRate() float64 {
+func (st LevelStats) HitRate() float64 {
 	total := st.Hits + st.Misses
 	if total == 0 {
 		return 0
@@ -168,8 +168,37 @@ func (st Stats) HitRate() float64 {
 	return float64(st.Hits) / float64(total)
 }
 
-func (c *cache) stats() Stats {
-	var st Stats
+// add folds another level's counters in (for the cross-level total).
+func (st LevelStats) add(o LevelStats) LevelStats {
+	st.Hits += o.Hits
+	st.Misses += o.Misses
+	st.Evictions += o.Evictions
+	st.Entries += o.Entries
+	st.Capacity += o.Capacity
+	return st
+}
+
+// Stats is the engine-wide snapshot, one LevelStats per cache level.
+type Stats struct {
+	// Prefix is the ordered-prefix LRU: conjunction prefixes with their
+	// survivor vectors, the level behind ConjunctionShare/PrefixShares.
+	Prefix LevelStats
+	// Set is the sort-canonicalized set-level cache (ModeCanonical only):
+	// whole-conjunction shares keyed by the sorted interest set, so permuted
+	// re-probes of one set hit a single entry.
+	Set LevelStats
+	// Demo is the demographic level: filter shares and composite
+	// (DemoFilter, conjunction) conditional audiences.
+	Demo LevelStats
+}
+
+// Total folds every level into one aggregate view.
+func (st Stats) Total() LevelStats {
+	return st.Prefix.add(st.Set).add(st.Demo)
+}
+
+func (c *cache) stats() LevelStats {
+	var st LevelStats
 	for _, s := range c.shards {
 		s.mu.Lock()
 		st.Hits += s.hits

@@ -7,9 +7,11 @@ package audience
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
 )
 
 func FuzzConjunctionKey(f *testing.F) {
@@ -52,6 +54,54 @@ func FuzzConjunctionKey(f *testing.F) {
 			}
 		}
 		_ = ids
+	})
+}
+
+// FuzzCompositeKey gates the composite (DemoFilter, conjunction) codec the
+// demo cache level keys on: every whole key must decode and re-encode to the
+// exact same bytes (bijectivity — a collision would serve one filter's
+// audience for another), and structurally distinct filters must never
+// collide. The fuzzer drives both directions: raw bytes through the decoder,
+// and two constructed filters through the encoder.
+func FuzzCompositeKey(f *testing.F) {
+	f.Add([]byte{}, "ES", "FR", uint8(1), int16(13), int16(65), uint32(1), uint32(2))
+	f.Add([]byte{0, 0}, "", "WW", uint8(0), int16(0), int16(0), uint32(0), uint32(0))
+	f.Add([]byte{2, 1, 65, 0}, "AR", "AR", uint8(2), int16(-3), int16(200), uint32(7), uint32(7))
+	f.Fuzz(func(t *testing.T, raw []byte, c1, c2 string, g uint8, ageMin, ageMax int16, id1, id2 uint32) {
+		// Direction 1: arbitrary bytes. Whatever decodes must re-encode to
+		// the identical byte string (the codec is a bijection onto its
+		// image), and the filter half must consume exactly what it wrote.
+		if fd, ids, err := DecodeCompositeKey(raw); err == nil {
+			re := AppendCompositeKey(nil, fd, ids)
+			if !bytes.Equal(re, raw) {
+				t.Fatalf("re-encode of %x = %x (filter %+v ids %v)", raw, re, fd, ids)
+			}
+		}
+		// Direction 2: constructed filters. Encode → decode must be the
+		// identity on the struct, and distinct constructions must yield
+		// distinct keys unless they are field-for-field equal.
+		f1 := population.DemoFilter{
+			Countries: []string{c1, c2},
+			Genders:   []population.Gender{population.Gender(g)},
+			AgeMin:    int(ageMin), AgeMax: int(ageMax),
+		}
+		f2 := population.DemoFilter{
+			Countries: []string{c2},
+			AgeMin:    int(ageMin),
+		}
+		ids := []interest.ID{interest.ID(id1), interest.ID(id2)}
+		k1 := AppendCompositeKey(nil, f1, ids)
+		k2 := AppendCompositeKey(nil, f2, ids)
+		d1, ids1, err := DecodeCompositeKey(k1)
+		if err != nil {
+			t.Fatalf("own key rejected: %v", err)
+		}
+		if !reflect.DeepEqual(d1, f1) || !reflect.DeepEqual(ids1, ids) {
+			t.Fatalf("round trip of (%+v, %v) = (%+v, %v)", f1, ids, d1, ids1)
+		}
+		if bytes.Equal(k1, k2) && !reflect.DeepEqual(f1, f2) {
+			t.Fatalf("distinct filters %+v and %+v collide on key %x", f1, f2, k1)
+		}
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
 )
 
 // Conjunction keys.
@@ -53,4 +54,35 @@ func DecodeKey(key []byte) ([]interest.ID, error) {
 		out = append(out, interest.ID(binary.BigEndian.Uint32(key[i:])))
 	}
 	return out, nil
+}
+
+// Composite (DemoFilter, conjunction) keys.
+//
+// Demographic-dependent results (ExpectedAudienceConditional, DemoShare) are
+// keyed by the filter's self-delimiting encoding (population.DemoFilter's
+// AppendKey) followed by the conjunction encoding above. Both halves are
+// bijective and the filter half is length-prefixed, so the composition is
+// bijective too: no (filter, conjunction) pair collides with any other
+// (FuzzCompositeKey gates this). The engine prepends a one-byte kind tag
+// before storing, so values of different meaning (a filter share vs a
+// conditional audience over the same pair) can never alias.
+
+// AppendCompositeKey appends the canonical encoding of the (filter,
+// conjunction) pair to dst and returns the extended slice.
+func AppendCompositeKey(dst []byte, f population.DemoFilter, ids []interest.ID) []byte {
+	dst = f.AppendKey(dst)
+	return AppendKey(dst, ids)
+}
+
+// DecodeCompositeKey inverts AppendCompositeKey.
+func DecodeCompositeKey(key []byte) (population.DemoFilter, []interest.ID, error) {
+	f, rest, err := population.DecodeDemoFilterKey(key)
+	if err != nil {
+		return population.DemoFilter{}, nil, err
+	}
+	ids, err := DecodeKey(rest)
+	if err != nil {
+		return population.DemoFilter{}, nil, err
+	}
+	return f, ids, nil
 }

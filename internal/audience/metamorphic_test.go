@@ -1,0 +1,233 @@
+package audience
+
+// Metamorphic property suite: the correctness argument that licenses the
+// relaxed ModeCanonical contract. The properties, gated per seed in
+// {0, 1, 42} (the repo's determinism seeds) over random conjunctions:
+//
+//  1. Permutation invariance — in ModeCanonical, every ordering of one
+//     interest multiset returns BYTE-identical shares, on a shared warm
+//     engine and on a freshly built one (so the property is a fact about
+//     the evaluation, not an artifact of cache hits).
+//  2. Exact-mode fidelity — ModeExact with the cache on stays byte-identical
+//     to the cache-off path for every query and re-query.
+//  3. Bounded divergence — |canonical − exact| stays within the documented
+//     MaxCanonicalRelativeError for every query.
+//  4. The same three properties hold for the composite-keyed demographic
+//     surface (ExpectedAudienceConditional).
+//
+// CI runs this file under -race (go test -race ./...), which also makes the
+// concurrent-permutation test a thread-safety gate for the set level.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+var metamorphicSeeds = []uint64{0, 1, 42}
+
+// seededModel builds a small quadrature model whose catalog derives from the
+// given seed, so each determinism seed exercises different rate vectors.
+func seededModel(t testing.TB, seed uint64) *population.Model {
+	t.Helper()
+	icfg := interest.DefaultConfig()
+	icfg.Size = 1500
+	cat, err := interest.Generate(icfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := population.DefaultConfig(cat)
+	pcfg.ActivityGridSize = 96
+	m, err := population.NewModel(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// permute returns a random permutation of ids.
+func permute(ids []interest.ID, r *rng.Rand) []interest.ID {
+	out := make([]interest.ID, len(ids))
+	copy(out, ids)
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// reversed returns ids back to front — the adversarial ordering farthest
+// from any shared ordered prefix.
+func reversed(ids []interest.ID) []interest.ID {
+	out := make([]interest.ID, len(ids))
+	for i, id := range ids {
+		out[len(ids)-1-i] = id
+	}
+	return out
+}
+
+func TestMetamorphicCanonicalPermutationInvariance(t *testing.T) {
+	for _, seed := range metamorphicSeeds {
+		m := seededModel(t, seed)
+		eng := Canonical(m)
+		r := rng.New(seed + 1000)
+		for ci, ids := range randomConjunctions(m, 30, 12, r) {
+			want := eng.ConjunctionShare(ids)
+			perms := [][]interest.ID{reversed(ids)}
+			for k := 0; k < 6; k++ {
+				perms = append(perms, permute(ids, r))
+			}
+			for pi, p := range perms {
+				if got := eng.ConjunctionShare(p); !sameBits(got, want) {
+					t.Fatalf("seed %d conj %d perm %d: warm engine %v != %v", seed, ci, pi, got, want)
+				}
+			}
+			// Stateless invariance: a fresh engine (empty caches) must agree
+			// bit-for-bit — the canonical value is a pure function of the
+			// set, never of what happened to be cached.
+			if got := Canonical(m).ConjunctionShare(perms[0]); !sameBits(got, want) {
+				t.Fatalf("seed %d conj %d: fresh engine %v != %v", seed, ci, got, want)
+			}
+			// And the value is exactly the exact-mode share of the sorted
+			// ordering — the documented definition of the canonical result.
+			sorted := canonicalOrder(ids)
+			if got := m.ConjunctionShare(sorted); !sameBits(got, want) {
+				t.Fatalf("seed %d conj %d: canonical %v != sorted-order model eval %v", seed, ci, want, got)
+			}
+		}
+		if st := eng.Stats(); st.Set.Hits == 0 {
+			t.Fatalf("seed %d: permuted re-probes never hit the set level (%+v)", seed, st)
+		}
+	}
+}
+
+func TestMetamorphicExactModeMatchesCacheOff(t *testing.T) {
+	for _, seed := range metamorphicSeeds {
+		m := seededModel(t, seed)
+		cached := Cached(m)
+		off := Disabled(m)
+		r := rng.New(seed + 2000)
+		conjs := randomConjunctions(m, 40, 12, r)
+		for pass := 0; pass < 2; pass++ { // miss paths, then hit paths
+			for ci, ids := range conjs {
+				want := off.ConjunctionShare(ids)
+				if got := cached.ConjunctionShare(ids); !sameBits(got, want) {
+					t.Fatalf("seed %d pass %d conj %d: cache-on %v != cache-off %v", seed, pass, ci, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMetamorphicCanonicalWithinDocumentedBound(t *testing.T) {
+	worst := 0.0
+	for _, seed := range metamorphicSeeds {
+		m := seededModel(t, seed)
+		canon := Canonical(m)
+		r := rng.New(seed + 3000)
+		for ci, ids := range randomConjunctions(m, 50, 25, r) {
+			exact := m.ConjunctionShare(ids)
+			got := canon.ConjunctionShare(ids)
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("seed %d conj %d: exact 0 but canonical %v", seed, ci, got)
+				}
+				continue
+			}
+			rel := math.Abs(got-exact) / math.Abs(exact)
+			if rel > worst {
+				worst = rel
+			}
+			if rel > MaxCanonicalRelativeError {
+				t.Fatalf("seed %d conj %d (n=%d): |canonical-exact|/exact = %.3e exceeds the documented bound %.1e",
+					seed, ci, len(ids), rel, MaxCanonicalRelativeError)
+			}
+		}
+	}
+	t.Logf("worst observed canonical-vs-exact relative error: %.3e (bound %.1e)", worst, MaxCanonicalRelativeError)
+}
+
+// TestMetamorphicConditionalPermutationInvariance extends the invariance
+// and fidelity properties to the composite-keyed demographic surface.
+func TestMetamorphicConditionalPermutationInvariance(t *testing.T) {
+	filters := []population.DemoFilter{
+		{},
+		{Countries: []string{"ES"}},
+		{Countries: []string{"AR", "MX"}, Genders: []population.Gender{population.GenderFemale}},
+		{AgeMin: 20, AgeMax: 39},
+	}
+	for _, seed := range metamorphicSeeds {
+		m := seededModel(t, seed)
+		canon := Canonical(m)
+		exact := Cached(m)
+		r := rng.New(seed + 4000)
+		for ci, ids := range randomConjunctions(m, 15, 10, r) {
+			f := filters[ci%len(filters)]
+			// Exact-mode fidelity: composite caching is byte-invisible.
+			want := m.ExpectedAudienceConditional(f, ids)
+			for pass := 0; pass < 2; pass++ {
+				if got := exact.ExpectedAudienceConditional(f, ids); !sameBits(got, want) {
+					t.Fatalf("seed %d conj %d pass %d: exact-mode conditional %v != model %v", seed, ci, pass, got, want)
+				}
+			}
+			// Canonical-mode permutation invariance.
+			base := canon.ExpectedAudienceConditional(f, ids)
+			for k := 0; k < 4; k++ {
+				if got := canon.ExpectedAudienceConditional(f, permute(ids, r)); !sameBits(got, base) {
+					t.Fatalf("seed %d conj %d: permuted conditional diverged: %v != %v", seed, ci, got, base)
+				}
+			}
+			// Bounded divergence carries through the affine map.
+			if want != 0 {
+				if rel := math.Abs(base-want) / math.Abs(want); rel > MaxCanonicalRelativeError {
+					t.Fatalf("seed %d conj %d: conditional drift %.3e exceeds bound", seed, ci, rel)
+				}
+			}
+		}
+		if st := canon.Stats(); st.Demo.Hits == 0 {
+			t.Fatalf("seed %d: composite level never hit (%+v)", seed, st)
+		}
+	}
+}
+
+// TestMetamorphicConcurrentPermutedProbes hammers one canonical engine with
+// permuted re-probes from many goroutines. Run under -race this is the set
+// level's thread-safety gate; every goroutine must observe the one canonical
+// value per set.
+func TestMetamorphicConcurrentPermutedProbes(t *testing.T) {
+	m := seededModel(t, 42)
+	eng := New(m, Options{Mode: ModeCanonical, Capacity: 128, SetCapacity: 64, Shards: 4})
+	r := rng.New(7)
+	sets := randomConjunctions(m, 24, 10, r)
+	want := make([]float64, len(sets))
+	for i, ids := range sets {
+		want[i] = m.ConjunctionShare(canonicalOrder(ids))
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gr := rng.New(uint64(1000 + g))
+			for rep := 0; rep < 5; rep++ {
+				for i, ids := range sets {
+					if got := eng.ConjunctionShare(permute(ids, gr)); !sameBits(got, want[i]) {
+						errc <- errMismatch(g, i, got, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Set.Hits == 0 {
+		t.Fatalf("concurrent permuted probes never hit the set level (%+v)", st)
+	}
+}

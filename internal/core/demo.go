@@ -57,7 +57,11 @@ func (k DemographicKnowledge) Fn() KnowledgeFn {
 // narrowing: the audience of every prefix is evaluated inside the
 // demographic slice the attacker can target. The audience oracle is
 // model-backed (the per-user filter cannot be expressed through the generic
-// AudienceSource interface).
+// AudienceSource interface). When the source carries an audience engine,
+// both factors route through it — the filter share through the cached demo
+// level (one entry per distinct victim filter) and the prefix shares through
+// the ordered-prefix level — with bit-identical results, so the Appendix C
+// demographic-boost scans share the cache every other subsystem warms.
 func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSource, know KnowledgeFn, cfg CollectConfig) (*Samples, error) {
 	if len(users) == 0 {
 		return nil, errors.New("core: no panel users")
@@ -91,18 +95,28 @@ func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSo
 			row[i] = math.NaN()
 		}
 		filter := know(u)
-		base := float64(m.Population())*m.DemoShare(filter) - 1
+		base := float64(m.Population())*ms.demoShare(filter) - 1
 		if base < 0 {
 			base = 0
 		}
-		q := m.NewQuery()
-		for i, id := range ids {
-			q.And(id)
-			reach := int64(math.Round(1 + base*q.Share()))
-			if reach < ms.Floor() {
-				reach = ms.Floor()
+		if ms.Audience != nil {
+			for i, p := range ms.Audience.PrefixShares(ids) {
+				reach := int64(math.Round(1 + base*p))
+				if reach < ms.Floor() {
+					reach = ms.Floor()
+				}
+				row[i] = float64(reach)
 			}
-			row[i] = float64(reach)
+		} else {
+			q := m.NewQuery()
+			for i, id := range ids {
+				q.And(id)
+				reach := int64(math.Round(1 + base*q.Share()))
+				if reach < ms.Floor() {
+					reach = ms.Floor()
+				}
+				row[i] = float64(reach)
+			}
 		}
 		s.AS[ui] = row
 		return nil

@@ -77,7 +77,7 @@ func (s *ModelSource) PrefixReach(ids []interest.ID) ([]int64, error) {
 	if s.Model == nil {
 		return nil, errors.New("core: ModelSource has no model")
 	}
-	base := float64(s.Model.Population())*s.Model.DemoShare(s.Filter) - 1
+	base := float64(s.Model.Population())*s.demoShare(s.Filter) - 1
 	if base < 0 {
 		base = 0
 	}
@@ -96,11 +96,20 @@ func (s *ModelSource) PrefixReach(ids []interest.ID) ([]int64, error) {
 	return out, nil
 }
 
+// demoShare resolves a filter share, via the engine's cached demo level when
+// one is attached (memoized pure function: bit-identical either way).
+func (s *ModelSource) demoShare(f population.DemoFilter) float64 {
+	if s.Audience != nil {
+		return s.Audience.DemoShare(f)
+	}
+	return s.Model.DemoShare(f)
+}
+
 // ClampConditional converts an already-evaluated conjunction share (e.g.
 // from the audience engine's batch API) into the floored conditional
 // Potential Reach this source reports.
 func (s *ModelSource) ClampConditional(p float64) int64 {
-	return s.clamp(s.Model.ConditionalAudienceFromShare(s.Filter, p))
+	return s.clamp(s.Model.ConditionalAudienceFromShares(s.demoShare(s.Filter), p))
 }
 
 func (s *ModelSource) clamp(aud float64) int64 {

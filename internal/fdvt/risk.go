@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"nanotarget/internal/interest"
@@ -110,6 +111,51 @@ func CatalogOracle(cat *interest.Catalog, pop int64) AudienceOracle {
 	return catalogOracle{cat: cat, pop: pop}
 }
 
+// SliceOracle extends AudienceOracle with demographic narrowing — the
+// surface the §9-aware risk view scores against. The audience engine
+// implements it structurally (its DemoShare is served from the cached demo
+// level, so scanning a panel where users share countries and age bands hits
+// after the first user of each slice).
+type SliceOracle interface {
+	AudienceOracle
+	// DemoShare returns the fraction of the population inside the filter.
+	DemoShare(f population.DemoFilter) float64
+}
+
+// NewSliceRiskReport builds the demographic-slice variant of the §6 risk
+// view: each interest's audience is the expected count INSIDE the given
+// demographic slice (worldwide audience × slice share), the base an
+// attacker who also knows the holder's demographics actually probes (§9).
+// A zero filter reproduces NewRiskReportFrom exactly; narrower slices push
+// interests into redder bands, quantifying how demographic knowledge
+// erodes the worldwide thresholds' safety margin.
+func NewSliceRiskReport(u *population.User, src SliceOracle, f population.DemoFilter) (*RiskReport, error) {
+	if u == nil || src == nil || src.Catalog() == nil {
+		return nil, errors.New("fdvt: user and slice oracle are required")
+	}
+	if src.Population() <= 0 {
+		return nil, errors.New("fdvt: population must be positive")
+	}
+	share := src.DemoShare(f)
+	cat := src.Catalog()
+	rep := &RiskReport{user: u, byID: make(map[interest.ID]int, len(u.Interests))}
+	for _, id := range u.Interests {
+		in, err := cat.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("fdvt: profile references %v: %w", id, err)
+		}
+		aud := int64(math.Round(float64(src.InterestAudience(id)) * share))
+		rep.entries = append(rep.entries, RiskEntry{
+			Interest: in,
+			Audience: aud,
+			Level:    RiskFor(aud),
+			Active:   true,
+		})
+	}
+	sortEntries(rep)
+	return rep, nil
+}
+
 // NewRiskReport builds the report for a user: each interest's audience size
 // is retrieved from the catalog at the given population scale and sorted
 // ascending (most dangerous first), as the extension displays it.
@@ -145,6 +191,13 @@ func NewRiskReportFrom(u *population.User, src AudienceOracle) (*RiskReport, err
 			Active:   true,
 		})
 	}
+	sortEntries(rep)
+	return rep, nil
+}
+
+// sortEntries orders a report ascending by audience (most dangerous first,
+// as the extension displays it) and rebuilds the ID index.
+func sortEntries(rep *RiskReport) {
 	sort.Slice(rep.entries, func(a, b int) bool {
 		if rep.entries[a].Audience != rep.entries[b].Audience {
 			return rep.entries[a].Audience < rep.entries[b].Audience
@@ -154,7 +207,6 @@ func NewRiskReportFrom(u *population.User, src AudienceOracle) (*RiskReport, err
 	for i, e := range rep.entries {
 		rep.byID[e.Interest.ID] = i
 	}
-	return rep, nil
 }
 
 // Entries returns the rows, most dangerous first.

@@ -41,6 +41,23 @@ func ScanPanel(users []*population.User, src AudienceOracle, workers int) ([]*Ri
 	})
 }
 
+// ScanPanelSliced is ScanPanel with per-user demographic narrowing: each
+// user's interests are scored inside the slice filterFor returns for them
+// (their own country/gender/age band — the §9 attacker's view). The oracle's
+// DemoShare is queried once per user; with the audience engine backing it,
+// users sharing a slice hit the cached demo level.
+func ScanPanelSliced(users []*population.User, src SliceOracle, filterFor func(*population.User) population.DemoFilter, workers int) ([]*RiskReport, error) {
+	if len(users) == 0 {
+		return nil, errors.New("fdvt: no users to scan")
+	}
+	if filterFor == nil {
+		filterFor = func(*population.User) population.DemoFilter { return population.DemoFilter{} }
+	}
+	return parallel.Map(context.Background(), len(users), workers, func(i int) (*RiskReport, error) {
+		return NewSliceRiskReport(users[i], src, filterFor(users[i]))
+	})
+}
+
 // SummarizeRisk folds per-user reports into the panel-level view.
 func SummarizeRisk(reports []*RiskReport) PanelRiskSummary {
 	sum := PanelRiskSummary{

@@ -1,0 +1,129 @@
+package fdvt
+
+import (
+	"testing"
+
+	"nanotarget/internal/audience"
+	"nanotarget/internal/population"
+)
+
+// TestSliceRiskZeroFilterMatchesWorldwide: the slice view with an empty
+// filter must reproduce the classic report exactly (DemoShare(∅) = 1).
+func TestSliceRiskZeroFilterMatchesWorldwide(t *testing.T) {
+	m := testModel(t)
+	panel := smallPanel(t, m, 20, 3)
+	eng := audience.Cached(m)
+	for i, u := range panel.Users {
+		world, err := NewRiskReportFrom(u, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sliced, err := NewSliceRiskReport(u, eng, population.DemoFilter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := world.Entries(), sliced.Entries()
+		if len(a) != len(b) {
+			t.Fatalf("user %d: entry counts differ", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("user %d entry %d: worldwide %+v != zero-filter slice %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestSliceRiskNarrowsAudiences: a real demographic slice must shrink every
+// audience (share < 1) and can only move interests toward redder bands.
+func TestSliceRiskNarrowsAudiences(t *testing.T) {
+	m := testModel(t)
+	panel := smallPanel(t, m, 20, 4)
+	eng := audience.Cached(m)
+	f := population.DemoFilter{Countries: []string{"ES"}, AgeMin: 20, AgeMax: 39}
+	if s := eng.DemoShare(f); s <= 0 || s >= 1 {
+		t.Fatalf("test filter share %v is not a strict narrowing", s)
+	}
+	u := panel.Users[0]
+	world, err := NewRiskReportFrom(u, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced, err := NewSliceRiskReport(u, eng, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worldBy := map[string]RiskEntry{}
+	for _, e := range world.Entries() {
+		worldBy[e.Interest.Name] = e
+	}
+	for _, e := range sliced.Entries() {
+		w := worldBy[e.Interest.Name]
+		if e.Audience > w.Audience {
+			t.Fatalf("%s: slice audience %d exceeds worldwide %d", e.Interest.Name, e.Audience, w.Audience)
+		}
+		if e.Level > w.Level {
+			// RiskLevel orders RiskHigh < ... < RiskNone, so a narrower base
+			// may only lower (redden) the level, never raise it.
+			t.Fatalf("%s: slice level %v is greener than worldwide %v", e.Interest.Name, e.Level, w.Level)
+		}
+	}
+}
+
+// TestScanPanelSlicedSharesDemoCache: scanning a panel where many users live
+// in the same country must hit the engine's cached demo level after the
+// first user of each slice, and the scan must be worker-count independent.
+func TestScanPanelSlicedSharesDemoCache(t *testing.T) {
+	m := testModel(t)
+	panel := smallPanel(t, m, 40, 5)
+	filterFor := func(u *population.User) population.DemoFilter {
+		if u.Country == "" {
+			return population.DemoFilter{}
+		}
+		return population.DemoFilter{Countries: []string{u.Country}}
+	}
+	var baseline []*RiskReport
+	for _, workers := range []int{1, 4} {
+		eng := audience.Cached(m)
+		reports, err := ScanPanelSliced(panel.Users, eng, filterFor, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := eng.Stats(); st.Demo.Hits == 0 {
+			t.Fatalf("workers=%d: shared-country slices never hit the demo level (%+v)", workers, st)
+		}
+		if baseline == nil {
+			baseline = reports
+			continue
+		}
+		for i := range reports {
+			a, b := baseline[i].Entries(), reports[i].Entries()
+			if len(a) != len(b) {
+				t.Fatalf("user %d: entry counts differ across worker counts", i)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("user %d entry %d diverged across worker counts", i, j)
+				}
+			}
+		}
+	}
+	// nil filterFor degrades to the worldwide view.
+	eng := audience.Cached(m)
+	reports, err := ScanPanelSliced(panel.Users[:3], eng, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := ScanPanel(panel.Users[:3], eng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		a, b := world[i].Entries(), reports[i].Entries()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("nil filterFor: user %d entry %d differs from worldwide scan", i, j)
+			}
+		}
+	}
+}

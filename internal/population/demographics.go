@@ -75,6 +75,25 @@ func GroupForAge(age int) AgeGroup {
 	}
 }
 
+// Bounds returns the group's inclusive age range — the targeting filter
+// that selects exactly the users GroupForAge maps into the group (the
+// modeled population spans 13–99). AgeUnknown returns (0, 0), the
+// unbounded DemoFilter encoding.
+func (a AgeGroup) Bounds() (minAge, maxAge int) {
+	switch a {
+	case AgeAdolescence:
+		return 13, 19
+	case AgeEarlyAdulthood:
+		return 20, 39
+	case AgeAdulthood:
+		return 40, 64
+	case AgeMaturity:
+		return 65, 99
+	default:
+		return 0, 0
+	}
+}
+
 // Demographics holds the population's marginal distributions plus the
 // popularity tilts that differentiate demographic groups' interest profiles.
 //

@@ -1,0 +1,121 @@
+package population
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Demographic-filter keys.
+//
+// The audience engine caches filter-dependent results (demographic shares,
+// conditional audiences) under binary keys that embed the filter. The
+// encoding below is a bijection between DemoFilter values and byte strings:
+// no two distinct filters share a key, and every key decodes back to the
+// exact filter that produced it (FuzzCompositeKey in internal/audience gates
+// both properties). It is self-delimiting — DecodeDemoFilterKey returns the
+// unconsumed tail — so a conjunction key can be appended directly after it
+// to form the composite (DemoFilter, conjunction) cache key.
+//
+// Like conjunction keys, filter keys preserve the caller's slice order and
+// multiplicity: DemoShare([ES FR]) equals DemoShare([FR ES]) numerically,
+// but the two filters encode to different keys. Canonicalizing here would
+// break the bijection; callers that want order-insensitive hits normalize
+// before keying (the engine does not need to — every subsystem builds its
+// filters deterministically).
+
+// maxFilterElems bounds the country and gender list lengths DecodeDemoFilterKey
+// accepts, so a hostile length prefix cannot drive a giant allocation.
+const maxFilterElems = 1 << 16
+
+// AppendKey appends the canonical binary encoding of the filter to dst and
+// returns the extended slice.
+func (f DemoFilter) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(f.Countries)))
+	for _, c := range f.Countries {
+		dst = binary.AppendUvarint(dst, uint64(len(c)))
+		dst = append(dst, c...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Genders)))
+	for _, g := range f.Genders {
+		dst = append(dst, byte(g))
+	}
+	dst = binary.AppendVarint(dst, int64(f.AgeMin))
+	dst = binary.AppendVarint(dst, int64(f.AgeMax))
+	return dst
+}
+
+// DecodeDemoFilterKey inverts DemoFilter.AppendKey, returning the decoded
+// filter and the unconsumed remainder of key (the composite-key tail).
+func DecodeDemoFilterKey(key []byte) (DemoFilter, []byte, error) {
+	var f DemoFilter
+	nc, key, err := takeUvarint(key, "country count")
+	if err != nil {
+		return f, nil, err
+	}
+	if nc > maxFilterElems {
+		return f, nil, fmt.Errorf("population: filter key claims %d countries", nc)
+	}
+	for i := uint64(0); i < nc; i++ {
+		var n uint64
+		n, key, err = takeUvarint(key, "country length")
+		if err != nil {
+			return f, nil, err
+		}
+		if n > uint64(len(key)) {
+			return f, nil, fmt.Errorf("population: filter key country %d overruns the key", i)
+		}
+		f.Countries = append(f.Countries, string(key[:n]))
+		key = key[n:]
+	}
+	ng, key, err := takeUvarint(key, "gender count")
+	if err != nil {
+		return f, nil, err
+	}
+	if ng > maxFilterElems {
+		return f, nil, fmt.Errorf("population: filter key claims %d genders", ng)
+	}
+	if ng > uint64(len(key)) {
+		return f, nil, fmt.Errorf("population: filter key genders overrun the key")
+	}
+	for i := uint64(0); i < ng; i++ {
+		f.Genders = append(f.Genders, Gender(key[i]))
+	}
+	key = key[ng:]
+	ageMin, key, err := takeVarint(key, "age min")
+	if err != nil {
+		return f, nil, err
+	}
+	ageMax, key, err := takeVarint(key, "age max")
+	if err != nil {
+		return f, nil, err
+	}
+	f.AgeMin, f.AgeMax = int(ageMin), int(ageMax)
+	return f, key, nil
+}
+
+// takeUvarint/takeVarint decode one length or age field, rejecting
+// non-minimal varint encodings (\x80\x00 also decodes to 0 under the stdlib
+// rules): accepting them would let two distinct byte strings decode to one
+// filter, and the key codec must stay a bijection (FuzzCompositeKey).
+
+func takeUvarint(key []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(key)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("population: filter key truncated at %s", what)
+	}
+	if n > 1 && key[n-1] == 0 {
+		return 0, nil, fmt.Errorf("population: filter key has non-minimal varint at %s", what)
+	}
+	return v, key[n:], nil
+}
+
+func takeVarint(key []byte, what string) (int64, []byte, error) {
+	v, n := binary.Varint(key)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("population: filter key truncated at %s", what)
+	}
+	if n > 1 && key[n-1] == 0 {
+		return 0, nil, fmt.Errorf("population: filter key has non-minimal varint at %s", what)
+	}
+	return v, key[n:], nil
+}

@@ -1,0 +1,102 @@
+package population
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestDemoFilterKeyRoundTrip(t *testing.T) {
+	cases := []DemoFilter{
+		{},
+		{Countries: []string{"ES"}},
+		{Countries: []string{"ES", "FR", "AR"}},
+		{Countries: []string{"FR", "ES"}}, // order preserved, distinct from above
+		{Genders: []Gender{GenderMale}},
+		{Genders: []Gender{GenderFemale, GenderMale}},
+		{AgeMin: 13, AgeMax: 19},
+		{AgeMin: -5, AgeMax: 200},
+		{Countries: []string{""}}, // empty string ≠ empty list
+		{Countries: []string{"AR"}, Genders: []Gender{GenderFemale}, AgeMin: 20, AgeMax: 39},
+	}
+	keys := make(map[string]int)
+	for i, f := range cases {
+		key := f.AppendKey(nil)
+		got, rest, err := DecodeDemoFilterKey(key)
+		if err != nil {
+			t.Fatalf("case %d: own key rejected: %v", i, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("case %d: %d unconsumed bytes", i, len(rest))
+		}
+		if !reflect.DeepEqual(normalizeFilter(got), normalizeFilter(f)) {
+			t.Fatalf("case %d: round trip of %+v = %+v", i, f, got)
+		}
+		if prev, dup := keys[string(key)]; dup {
+			t.Fatalf("cases %d and %d collide on key %x", prev, i, key)
+		}
+		keys[string(key)] = i
+	}
+}
+
+// normalizeFilter maps empty slices to nil so DeepEqual compares filter
+// contents, not allocation history (the decoder returns nil for zero-length
+// lists).
+func normalizeFilter(f DemoFilter) DemoFilter {
+	if len(f.Countries) == 0 {
+		f.Countries = nil
+	}
+	if len(f.Genders) == 0 {
+		f.Genders = nil
+	}
+	return f
+}
+
+func TestDemoFilterKeySelfDelimiting(t *testing.T) {
+	f := DemoFilter{Countries: []string{"ES", "MX"}, AgeMin: 18, AgeMax: 65}
+	tail := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	key := append(f.AppendKey(nil), tail...)
+	got, rest, err := DecodeDemoFilterKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeFilter(got), f) {
+		t.Fatalf("decoded %+v, want %+v", got, f)
+	}
+	if !bytes.Equal(rest, tail) {
+		t.Fatalf("tail = %x, want %x", rest, tail)
+	}
+}
+
+func TestDemoFilterKeyRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":                  {},
+		"truncated country":      {1, 5, 'E'},
+		"huge country count":     {0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		"gender overrun":         {0, 3, 1},
+		"missing ages":           {0, 0},
+		"non-minimal zero count": {0x80, 0x00, 0, 0, 0},
+	}
+	for name, key := range cases {
+		if _, _, err := DecodeDemoFilterKey(key); err == nil {
+			t.Errorf("%s key %x decoded without error", name, key)
+		}
+	}
+}
+
+func TestConditionalAudienceFromSharesMatchesOneShot(t *testing.T) {
+	m := testModel(t, 7)
+	filters := []DemoFilter{
+		{},
+		{Countries: []string{"ES"}},
+		{Genders: []Gender{GenderFemale}, AgeMin: 20, AgeMax: 39},
+	}
+	for _, f := range filters {
+		ds := m.DemoShare(f)
+		for _, p := range []float64{0, 1e-9, 0.25, 1} {
+			if got, want := m.ConditionalAudienceFromShares(ds, p), m.ConditionalAudienceFromShare(f, p); got != want {
+				t.Fatalf("filter %+v p %v: split %v != one-shot %v", f, p, got, want)
+			}
+		}
+	}
+}

@@ -155,7 +155,15 @@ func (m *Model) ExpectedAudienceConditional(f DemoFilter, ids []interest.ID) flo
 // conjunction share p that has already been evaluated (e.g. served from the
 // audience cache): 1 + (Pop·demoShare − 1)·p.
 func (m *Model) ConditionalAudienceFromShare(f DemoFilter, p float64) float64 {
-	base := float64(m.pop)*m.DemoShare(f) - 1
+	return m.ConditionalAudienceFromShares(m.DemoShare(f), p)
+}
+
+// ConditionalAudienceFromShares is ConditionalAudienceFromShare when the
+// demographic share has ALSO already been evaluated (the audience engine
+// caches both factors under separate keys). Bit-identical to the one-shot
+// form whenever demoShare carries the exact bits DemoShare(f) returns.
+func (m *Model) ConditionalAudienceFromShares(demoShare, p float64) float64 {
+	base := float64(m.pop)*demoShare - 1
 	if base < 0 {
 		base = 0
 	}
@@ -176,7 +184,15 @@ func (m *Model) RealizeAudience(f DemoFilter, ids []interest.ID, r *rng.Rand) in
 // the (stochastic) realization lets the audience engine cache the former
 // without perturbing the latter's random stream.
 func (m *Model) RealizeAudienceFromShare(f DemoFilter, p float64, r *rng.Rand) int64 {
-	n := int64(float64(m.pop) * m.DemoShare(f))
+	return m.RealizeAudienceFromShares(m.DemoShare(f), p, r)
+}
+
+// RealizeAudienceFromShares is RealizeAudienceFromShare with the demographic
+// share precomputed as well (both factors served from the audience cache).
+// The random stream consumption is identical to the one-shot form, so draws
+// are bit-identical whenever demoShare carries DemoShare(f)'s exact bits.
+func (m *Model) RealizeAudienceFromShares(demoShare, p float64, r *rng.Rand) int64 {
+	n := int64(float64(m.pop) * demoShare)
 	if n < 1 {
 		n = 1
 	}

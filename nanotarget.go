@@ -55,6 +55,7 @@ type config struct {
 	parallelism   int
 	cacheOff      bool
 	cacheCapacity int
+	cacheMode     audience.Mode
 }
 
 // Option customizes world construction.
@@ -97,6 +98,17 @@ func WithAudienceCache(on bool) Option { return func(c *config) { c.cacheOff = !
 // survivor vector of ActivityGrid float64s.
 func WithAudienceCacheCapacity(n int) Option {
 	return func(c *config) { c.cacheCapacity = n }
+}
+
+// WithAudienceCacheMode selects the audience cache contract (default
+// audience.ModeExact: every cached result bit-identical to an uncached
+// evaluation of the same ordered query). audience.ModeCanonical adds the
+// sort-canonicalized set-level cache — permuted re-probes of one interest
+// set hit a single entry — at the price of a documented relative error
+// bound (audience.MaxCanonicalRelativeError) against the exact path. See
+// the audience package docs for when each contract is appropriate.
+func WithAudienceCacheMode(m audience.Mode) Option {
+	return func(c *config) { c.cacheMode = m }
 }
 
 // WithParallelism sets the worker count used by every study and experiment
@@ -158,6 +170,7 @@ func NewWorld(opts ...Option) (*World, error) {
 	}
 	aud := audience.New(model, audience.Options{
 		Capacity: cfg.cacheCapacity,
+		Mode:     cfg.cacheMode,
 		Disabled: cfg.cacheOff,
 	})
 	return &World{model: model, audience: aud, panel: panel, root: root, parallelism: cfg.parallelism}, nil
@@ -196,9 +209,12 @@ func (w *World) Model() *population.Model { return w.model }
 // experiment the world runs evaluates through.
 func (w *World) Audience() *audience.Engine { return w.audience }
 
-// AudienceCacheStats snapshots the audience cache counters (zero value when
-// the cache is disabled via WithAudienceCache(false)).
+// AudienceCacheStats snapshots the per-level audience cache counters (zero
+// value when the cache is disabled via WithAudienceCache(false)).
 func (w *World) AudienceCacheStats() audience.Stats { return w.audience.Stats() }
+
+// AudienceCacheMode reports the cache contract the world was built with.
+func (w *World) AudienceCacheMode() audience.Mode { return w.audience.Mode() }
 
 // PanelUsers exposes the panel for advanced, in-module use.
 func (w *World) PanelUsers() []*population.User { return w.panel.Users }
