@@ -553,6 +553,163 @@ func BenchmarkAudiencePermuted(b *testing.B) {
 	}
 }
 
+// getExpModel builds (once) a model over the bench world's catalog with the
+// inclusion-row kernel DISABLED — the legacy inline-exp() evaluation the
+// kernel benchmarks compare against. Same catalog, population and grid as
+// the bench world, so ns/op are directly comparable.
+func getExpModel(b *testing.B) *population.Model {
+	b.Helper()
+	w := getBenchWorld(b)
+	expModelOnce.Do(func() {
+		cfg := population.DefaultConfig(w.Model().Catalog())
+		cfg.ActivityGridSize = 256
+		cfg.DisableRowKernel = true
+		m, err := population.NewModel(cfg)
+		if err != nil {
+			panic(err)
+		}
+		expModel = m
+	})
+	return expModel
+}
+
+var (
+	expModelOnce sync.Once
+	expModel     *population.Model
+)
+
+// benchConjunction returns the 18-interest probe the kernel benches share —
+// the ISSUE's motivating shape: a cache-cold conjunction whose evaluation
+// under inline exp() costs one transcendental per (interest, grid point).
+func benchConjunction(cat *interest.Catalog) []interest.ID {
+	ids := make([]interest.ID, 18)
+	for i := range ids {
+		ids[i] = interest.ID((i*811 + 17) % cat.Len())
+	}
+	return ids
+}
+
+// BenchmarkAudienceKernel measures the evaluation inner loop itself — the
+// cost of a conjunction the audience CACHE has never seen — in three
+// regimes: legacy inline exp() (the row kernel disabled), the kernel with
+// rows still unmaterialized (first touch: pays the exp() hoist once), and
+// the kernel with rows warm (the steady state: contiguous multiply loops).
+// exp vs rows-warm is the headline `cold_kernel_vs_exp` ratio in
+// BENCH_audience.json; CI gates it at >= 2x.
+func BenchmarkAudienceKernel(b *testing.B) {
+	w := getBenchWorld(b)
+	m := w.Model()
+	ids := benchConjunction(m.Catalog())
+	b.Run("exp", func(b *testing.B) {
+		exp := getExpModel(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if exp.ConjunctionShare(ids) < 0 {
+				b.Fatal("negative share")
+			}
+		}
+	})
+	b.Run("rows-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.ResetRows()
+			if m.ConjunctionShare(ids) < 0 {
+				b.Fatal("negative share")
+			}
+		}
+	})
+	b.Run("rows-warm", func(b *testing.B) {
+		m.WarmRows(ids...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m.ConjunctionShare(ids) < 0 {
+				b.Fatal("negative share")
+			}
+		}
+	})
+}
+
+// BenchmarkAudienceUnion measures the flexible_spec OR-clause path
+// (UnionConjunctionShare) — before the kernel, the only evaluation with
+// per-call exp() in a triple loop, and previously unbenchmarked. Clause
+// shape: four genuine 3-interest OR clauses plus three single-interest
+// clauses, the mixed spec an Ads-Manager flexible_spec produces.
+func BenchmarkAudienceUnion(b *testing.B) {
+	w := getBenchWorld(b)
+	m := w.Model()
+	cat := m.Catalog()
+	var clauses [][]interest.ID
+	var flat []interest.ID
+	for c := 0; c < 4; c++ {
+		clause := make([]interest.ID, 3)
+		for i := range clause {
+			clause[i] = interest.ID((c*4409 + i*811 + 23) % cat.Len())
+		}
+		clauses = append(clauses, clause)
+		flat = append(flat, clause...)
+	}
+	for c := 0; c < 3; c++ {
+		id := interest.ID((c*7919 + 5) % cat.Len())
+		clauses = append(clauses, []interest.ID{id})
+		flat = append(flat, id)
+	}
+	b.Run("exp", func(b *testing.B) {
+		exp := getExpModel(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if exp.UnionConjunctionShare(clauses) < 0 {
+				b.Fatal("negative share")
+			}
+		}
+	})
+	b.Run("rows-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.ResetRows()
+			if m.UnionConjunctionShare(clauses) < 0 {
+				b.Fatal("negative share")
+			}
+		}
+	})
+	b.Run("rows-warm", func(b *testing.B) {
+		m.WarmRows(flat...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m.UnionConjunctionShare(clauses) < 0 {
+				b.Fatal("negative share")
+			}
+		}
+	})
+}
+
+// BenchmarkAudienceCoalescedMiss measures single-flight miss coalescing
+// under the adsapi stress shape: 8 concurrent clients all issuing the SAME
+// cache-cold conjunction (engine reset per op; rows stay warm). One op is
+// the whole convoy — with coalescing, one evaluation plus 7 shared waits.
+func BenchmarkAudienceCoalescedMiss(b *testing.B) {
+	w := getBenchWorld(b)
+	eng := audience.Cached(w.Model())
+	ids := benchConjunction(w.Model().Catalog())
+	w.Model().WarmRows(ids...)
+	const clients = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if eng.ConjunctionShare(ids) < 0 {
+					b.Error("negative share")
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+	}
+}
+
 // BenchmarkAudienceBatch measures EvalBatch fan-out: the same cold probe
 // workload evaluated sequentially versus over one worker per core.
 func BenchmarkAudienceBatch(b *testing.B) {

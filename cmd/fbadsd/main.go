@@ -38,6 +38,7 @@ func main() {
 		cache       = flag.Bool("cache", true, "enable the reach-estimate audience cache (false = recompute every query; results are identical)")
 		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
 		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
+		prewarm     = flag.Bool("prewarm-rows", false, "materialize the full inclusion-row table at startup (catalog x grid x 8 bytes of memory; zero first-touch latency on cold estimates)")
 	)
 	flag.Parse()
 
@@ -78,11 +79,12 @@ func main() {
 	}
 	aud := audience.New(model, audience.Options{Capacity: *cacheCap, Mode: mode, Disabled: !*cache})
 	srv, err := adsapi.NewServer(adsapi.ServerConfig{
-		Model:     model,
-		Audience:  aud,
-		Era:       eraCfg,
-		Tokens:    tokenList,
-		RateLimit: *rate,
+		Model:       model,
+		Audience:    aud,
+		Era:         eraCfg,
+		Tokens:      tokenList,
+		RateLimit:   *rate,
+		PrewarmRows: *prewarm,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -51,6 +51,13 @@ type ServerConfig struct {
 	NarrowWarningThreshold int64
 	// Now supplies time for rate limiting; defaults to time.Now.
 	Now func() time.Time
+	// PrewarmRows materializes the model's full inclusion-row table at
+	// server construction (population.Model.WarmAllRows), trading startup
+	// time and memory — catalog × grid × 8 bytes, ~80 MiB for a 20k-interest
+	// catalog at the default 512-point grid — for zero first-touch latency
+	// on cold reach estimates. Off by default: rows materialize lazily per
+	// touched interest, which serving workloads amortize within seconds.
+	PrewarmRows bool
 }
 
 // Server implements the API over net/http.
@@ -97,6 +104,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.Audience = audience.New(cfg.Model, audience.Options{Mode: cfg.CacheMode})
 	} else if cfg.Audience.Model() != cfg.Model {
 		return nil, errors.New("adsapi: ServerConfig.Audience is backed by a different model")
+	}
+	if cfg.PrewarmRows {
+		cfg.Model.WarmAllRows()
 	}
 	s := &Server{
 		cfg:       cfg,

@@ -24,8 +24,24 @@
 //     conjunction) conditional audiences, extending caching to the
 //     filter-dependent Appendix C scans.
 //
-// Per-level hit/miss/eviction counters are exposed via Stats(); EvalBatch
-// fans independent queries out over internal/parallel.
+// Per-level hit/miss/eviction/coalesced counters are exposed via Stats();
+// EvalBatch fans independent queries out over internal/parallel with
+// per-worker scratch.
+//
+// # Hot-path mechanics
+//
+// Two layers sit around the caches. The warm path is ALLOCATION-FREE: key
+// buffers and sort scratch are pooled (scratch, below), cache lookups probe
+// with byte slices against interned string keys, and a cache hit returns
+// without copying survivor state — gated at 0 allocs/op in flight_test.go.
+// Cache-miss walks borrow pooled evaluation state from the model
+// (population.Model.BorrowQuery/BorrowResumeQuery) instead of allocating
+// per walk, and the underlying model evaluates on the precomputed
+// inclusion-row kernel (population rows.go) rather than calling exp() per
+// grid point. Concurrent IDENTICAL misses are single-flighted per level
+// (flight.go): one goroutine evaluates, the rest share its result — which
+// cannot perturb either mode's contract because every cached value is a
+// pure function of its key (see flight.go).
 //
 // # Determinism contract
 //
@@ -49,7 +65,8 @@ package audience
 
 import (
 	"context"
-	"sort"
+	"slices"
+	"sync"
 
 	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
@@ -114,7 +131,26 @@ type Engine struct {
 	cache *cache // ordered-prefix level; nil when disabled
 	sets  *cache // canonical set level; nil unless ModeCanonical
 	demo  *cache // demographic level; nil when disabled
+
+	// Per-level single-flight groups, keyed like their cache level
+	// (flight.go). Zero values; unused when the cache is disabled.
+	flightPrefix flightGroup
+	flightSet    flightGroup
+	flightDemo   flightGroup
 }
+
+// scratch holds one evaluation's reusable buffers: the cache-key buffer and
+// the canonical-sort scratch. Pooled so warm cache hits allocate nothing;
+// EvalBatch pins one per worker for the duration of a batch.
+type scratch struct {
+	key []byte
+	ids []interest.ID
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
 
 // New builds an engine over the model with the given options.
 func New(m *population.Model, opts Options) *Engine {
@@ -181,12 +217,15 @@ func (e *Engine) Stats() Stats {
 	var st Stats
 	if e.cache != nil {
 		st.Prefix = e.cache.stats()
+		st.Prefix.Coalesced = e.flightPrefix.coalesced.Load()
 	}
 	if e.sets != nil {
 		st.Set = e.sets.stats()
+		st.Set.Coalesced = e.flightSet.coalesced.Load()
 	}
 	if e.demo != nil {
 		st.Demo = e.demo.stats()
+		st.Demo.Coalesced = e.flightDemo.coalesced.Load()
 	}
 	return st
 }
@@ -199,6 +238,9 @@ func (e *Engine) Reset() {
 			c.reset()
 		}
 	}
+	for _, g := range []*flightGroup{&e.flightPrefix, &e.flightSet, &e.flightDemo} {
+		g.resetStats()
+	}
 }
 
 // ConjunctionShare returns E_t[∏ q(t, λᵢ)], the fraction of the unfiltered
@@ -210,21 +252,76 @@ func (e *Engine) ConjunctionShare(ids []interest.ID) float64 {
 	if e.cache == nil || len(ids) == 0 {
 		return e.model.ConjunctionShare(ids)
 	}
-	if e.mode == ModeCanonical && len(ids) > 1 {
-		return e.canonicalShare(ids)
+	sc := getScratch()
+	share := e.conjunctionShare(ids, sc)
+	putScratch(sc)
+	return share
+}
+
+// conjunctionShare is ConjunctionShare with caller-supplied scratch
+// (EvalBatch pins one scratch per worker instead of round-tripping the pool
+// per query).
+func (e *Engine) conjunctionShare(ids []interest.ID, sc *scratch) float64 {
+	if e.cache == nil || len(ids) == 0 {
+		return e.model.ConjunctionShare(ids)
 	}
-	return e.orderedShare(ids)
+	if e.mode == ModeCanonical && len(ids) > 1 {
+		return e.canonicalShare(ids, sc)
+	}
+	return e.orderedShare(ids, sc)
 }
 
 // orderedShare is the exact ordered-prefix path.
-func (e *Engine) orderedShare(ids []interest.ID) float64 {
-	// Fast path: the exact conjunction is cached.
-	key := AppendKey(make([]byte, 0, len(ids)*keyBytesPerID), ids)
-	if ent, ok := e.cache.get(key); ok {
+func (e *Engine) orderedShare(ids []interest.ID, sc *scratch) float64 {
+	// Fast path: the exact conjunction is cached. Zero allocations.
+	sc.key = AppendKey(sc.key[:0], ids)
+	if ent, ok := e.cache.get(sc.key); ok {
 		return ent.share
 	}
-	shares := e.prefixWalk(ids, key[:0])
-	return shares[len(shares)-1]
+	// Miss: single-flight the whole-conjunction evaluation. The leader
+	// resumes the deepest cached prefix and fills in the missing entries;
+	// followers share its result.
+	share, _ := e.flightPrefix.do(sc.key, func() float64 {
+		return e.seekShare(ids, sc)
+	})
+	return share
+}
+
+// seekShare evaluates the share of ids after a whole-key miss: it probes
+// prefixes LONGEST-FIRST for the deepest cached predecessor, resumes its
+// survivor weights in a pooled query and extends forward, inserting each
+// newly evaluated prefix. On the attacker's grow-by-one probe pattern the
+// backward seek hits on the first probe, so serving a chain of n prefix
+// queries costs O(n) cache probes in total instead of the O(n²) a
+// forward walk per query would pay.
+func (e *Engine) seekShare(ids []interest.ID, sc *scratch) float64 {
+	var (
+		q     *population.Query
+		start int
+	)
+	for d := len(ids) - 1; d >= 1; d-- {
+		sc.key = AppendKey(sc.key[:0], ids[:d])
+		// seek, not get: these probes refine the one miss the caller
+		// already counted, so only a landing probe touches the counters.
+		if ent, ok := e.cache.seek(sc.key); ok {
+			q = e.model.BorrowResumeQuery(ent.surv, ent.n)
+			start = d
+			break
+		}
+	}
+	if q == nil {
+		q = e.model.BorrowQuery()
+		sc.key = sc.key[:0]
+	}
+	var share float64
+	for i := start; i < len(ids); i++ {
+		sc.key = AppendKey(sc.key, ids[i:i+1])
+		q.And(ids[i])
+		share = q.Share()
+		e.cache.put(sc.key, share, q.Survivors(), i+1)
+	}
+	q.Release()
+	return share
 }
 
 // canonicalShare evaluates the sorted permutation of ids through the set
@@ -233,82 +330,122 @@ func (e *Engine) orderedShare(ids []interest.ID) float64 {
 // deterministic (duplicates keep their multiplicity) and the sorted walk is
 // the exact evaluation of the sorted ordering, so a recomputation after
 // eviction — or on a different engine — returns the same bits.
-func (e *Engine) canonicalShare(ids []interest.ID) float64 {
-	sorted := canonicalOrder(ids)
-	key := AppendKey(make([]byte, 0, len(sorted)*keyBytesPerID), sorted)
-	if ent, ok := e.sets.get(key); ok {
+func (e *Engine) canonicalShare(ids []interest.ID, sc *scratch) float64 {
+	sorted := e.sortedIDs(ids, sc)
+	sc.key = AppendKey(sc.key[:0], sorted)
+	if ent, ok := e.sets.get(sc.key); ok {
 		return ent.share
 	}
-	shares := e.prefixWalk(sorted, key[:0])
-	share := shares[len(shares)-1]
-	e.sets.put(key, share, nil, len(sorted))
+	share, _ := e.flightSet.do(sc.key, func() float64 {
+		s := e.seekShare(sorted, sc)
+		// seekShare left sc.key holding the full sorted key again.
+		e.sets.put(sc.key, s, nil, len(sorted))
+		return s
+	})
 	return share
 }
 
-// canonicalOrder returns ids in ascending order, reusing the input slice
-// when it is already sorted (the common case for probes grown in catalog
-// order) and copying otherwise — callers' slices are never mutated.
-func canonicalOrder(ids []interest.ID) []interest.ID {
-	if sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+// sortedIDs returns ids in ascending order, reusing the input slice when it
+// is already sorted (the common case for probes grown in catalog order) and
+// the scratch's pooled id buffer otherwise — callers' slices are never
+// mutated and warm re-probes allocate nothing.
+func (e *Engine) sortedIDs(ids []interest.ID, sc *scratch) []interest.ID {
+	if slices.IsSorted(ids) {
 		return ids
 	}
-	sorted := make([]interest.ID, len(ids))
-	copy(sorted, ids)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	sc.ids = append(sc.ids[:0], ids...)
+	slices.Sort(sc.ids)
+	return sc.ids
+}
+
+// canonicalOrder returns ids ascending without mutating the input,
+// allocating a copy when needed (tests and diagnostics; hot paths use
+// sortedIDs with pooled scratch instead).
+func canonicalOrder(ids []interest.ID) []interest.ID {
+	if slices.IsSorted(ids) {
+		return ids
+	}
+	sorted := slices.Clone(ids)
+	slices.Sort(sorted)
 	return sorted
 }
 
 // PrefixShares returns the share of every prefix ids[:1], ids[:2], ...,
 // ids[:len(ids)] — the §4.1 collection pattern — reusing and populating the
 // cache along the walk. Prefix sequences are inherently order-defined, so
-// this path keeps exact ordered semantics in both modes.
+// this path keeps exact ordered semantics in both modes. Callers issuing
+// many walks should prefer AppendPrefixShares with a reused buffer.
 func (e *Engine) PrefixShares(ids []interest.ID) []float64 {
 	if len(ids) == 0 {
 		return nil
 	}
-	if e.cache == nil {
-		out := make([]float64, len(ids))
-		q := e.model.NewQuery()
-		for i, id := range ids {
-			q.And(id)
-			out[i] = q.Share()
-		}
-		return out
-	}
-	return e.prefixWalk(ids, make([]byte, 0, len(ids)*keyBytesPerID))
+	return e.AppendPrefixShares(make([]float64, 0, len(ids)), ids)
 }
 
-// prefixWalk evaluates every prefix of ids left to right. Cached prefixes
-// are served as-is; the first miss resumes the longest cached predecessor's
-// survivor weights and extends one interest at a time, inserting each newly
-// evaluated prefix. keyBuf is an empty scratch buffer (reused capacity).
-func (e *Engine) prefixWalk(ids []interest.ID, keyBuf []byte) []float64 {
-	out := make([]float64, len(ids))
+// AppendPrefixShares is PrefixShares appending into dst (the borrow-style
+// variant: the §4.1 collection loops reuse one buffer across panel users
+// instead of allocating a share vector per user). Prefix walks are not
+// single-flighted — their value is the whole share vector, and overlapping
+// walks already share work through the prefix cache itself.
+func (e *Engine) AppendPrefixShares(dst []float64, ids []interest.ID) []float64 {
+	if len(ids) == 0 {
+		return dst
+	}
+	if e.cache == nil {
+		q := e.model.BorrowQuery()
+		for _, id := range ids {
+			q.And(id)
+			dst = append(dst, q.Share())
+		}
+		q.Release()
+		return dst
+	}
+	sc := getScratch()
+	dst = e.appendPrefixWalk(sc, dst, ids)
+	putScratch(sc)
+	return dst
+}
+
+// appendPrefixWalk evaluates every prefix of ids left to right, appending
+// the shares to dst. Cached prefixes are served as-is; the first miss
+// resumes the longest cached predecessor's survivor weights in a POOLED
+// query (population.Model.BorrowResumeQuery) and extends one interest at a
+// time, inserting each newly evaluated prefix. Keys build in sc.key
+// (capacity reused across walks).
+func (e *Engine) appendPrefixWalk(sc *scratch, dst []float64, ids []interest.ID) []float64 {
+	keyBuf := sc.key[:0]
 	var (
-		q    *population.Query // owned evaluation state, lazily materialized
+		q    *population.Query // borrowed evaluation state, lazily materialized
 		last *entry            // deepest cached prefix seen so far
 	)
 	for i, id := range ids {
 		keyBuf = AppendKey(keyBuf, ids[i:i+1])
 		if q == nil {
 			if ent, ok := e.cache.get(keyBuf); ok {
-				out[i] = ent.share
+				dst = append(dst, ent.share)
 				last = ent
 				continue
 			}
 			// First miss: materialize state from the deepest hit (or from
 			// scratch) and fall through to evaluate this prefix.
 			if last != nil {
-				q = e.model.ResumeQuery(last.surv, last.n)
+				q = e.model.BorrowResumeQuery(last.surv, last.n)
 			} else {
-				q = e.model.NewQuery()
+				q = e.model.BorrowQuery()
 			}
 		}
 		q.And(id)
-		out[i] = q.Share()
-		e.cache.put(keyBuf, out[i], q.Survivors(), i+1)
+		share := q.Share()
+		dst = append(dst, share)
+		// The cache owns its survivor vectors, so each inserted prefix gets
+		// its own copy (Survivors); the walking state itself is pooled.
+		e.cache.put(keyBuf, share, q.Survivors(), i+1)
 	}
-	return out
+	if q != nil {
+		q.Release()
+	}
+	sc.key = keyBuf
+	return dst
 }
 
 // UnionShare evaluates flexible_spec semantics (clauses ANDed, interests
@@ -338,12 +475,17 @@ func (e *Engine) DemoShare(f population.DemoFilter) float64 {
 	if e.demo == nil {
 		return e.model.DemoShare(f)
 	}
-	key := f.AppendKey(append(make([]byte, 0, 32), demoKindShare))
-	if ent, ok := e.demo.get(key); ok {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.key = f.AppendKey(append(sc.key[:0], demoKindShare))
+	if ent, ok := e.demo.get(sc.key); ok {
 		return ent.share
 	}
-	s := e.model.DemoShare(f)
-	e.demo.put(key, s, nil, 0)
+	s, _ := e.flightDemo.do(sc.key, func() float64 {
+		v := e.model.DemoShare(f)
+		e.demo.put(sc.key, v, nil, 0)
+		return v
+	})
 	return s
 }
 
@@ -363,18 +505,27 @@ func (e *Engine) ExpectedAudienceConditional(f population.DemoFilter, ids []inte
 	if e.demo == nil {
 		return e.model.ExpectedAudienceConditional(f, ids)
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	keyIDs := ids
 	if e.mode == ModeCanonical {
-		keyIDs = canonicalOrder(ids)
+		keyIDs = e.sortedIDs(ids, sc)
 	}
-	key := AppendCompositeKey(append(make([]byte, 0, 32+len(ids)*keyBytesPerID), demoKindCond), f, keyIDs)
-	if ent, ok := e.demo.get(key); ok {
+	sc.key = AppendCompositeKey(append(sc.key[:0], demoKindCond), f, keyIDs)
+	if ent, ok := e.demo.get(sc.key); ok {
 		return ent.share
 	}
-	// keyIDs is already the mode's evaluation order (canonicalOrder is
-	// idempotent), so evaluating it directly skips a second sort on misses.
-	v := e.model.ConditionalAudienceFromShares(e.DemoShare(f), e.ConjunctionShare(keyIDs))
-	e.demo.put(key, v, nil, len(ids))
+	v, _ := e.flightDemo.do(sc.key, func() float64 {
+		// keyIDs is already the mode's evaluation order (sorting is
+		// idempotent), so evaluating it directly skips a second sort on
+		// misses. The nested calls draw their own scratch — sc.key must
+		// survive for the put below — and may coalesce on their own levels;
+		// flight waits only ever run demo → prefix/set, never the reverse,
+		// so the wait graph is acyclic.
+		v := e.model.ConditionalAudienceFromShares(e.DemoShare(f), e.ConjunctionShare(keyIDs))
+		e.demo.put(sc.key, v, nil, len(ids))
+		return v
+	})
 	return v
 }
 
@@ -398,10 +549,26 @@ func (e *Engine) InterestAudience(id interest.ID) int64 {
 // Results are returned in input order and are bit-identical for any worker
 // count — concurrent evaluations can only ever insert identical bits into
 // the cache (in ModeCanonical because every entry is a pure function of its
-// key, independent of cache state).
+// key, independent of cache state). Each worker pins one scratch for the
+// whole batch, so a warm batch performs no per-query pool traffic and no
+// allocations beyond the result slice.
 func (e *Engine) EvalBatch(batch [][]interest.ID, workers int) []float64 {
-	out, _ := parallel.Map(context.Background(), len(batch), workers, func(i int) (float64, error) {
-		return e.ConjunctionShare(batch[i]), nil
+	out := make([]float64, len(batch))
+	scratches := make([]*scratch, parallel.Workers(workers))
+	// The task body never fails, so the returned error is always nil.
+	_ = parallel.ForEachWorker(context.Background(), len(batch), workers, func(w, i int) error {
+		sc := scratches[w]
+		if sc == nil {
+			sc = getScratch()
+			scratches[w] = sc
+		}
+		out[i] = e.conjunctionShare(batch[i], sc)
+		return nil
 	})
+	for _, sc := range scratches {
+		if sc != nil {
+			putScratch(sc)
+		}
+	}
 	return out
 }

@@ -72,13 +72,27 @@ func (c *cache) shardFor(key []byte) *shard {
 // get returns the entry for key, promoting it to most-recently-used.
 // The key is passed as bytes so lookups allocate nothing.
 func (c *cache) get(key []byte) (*entry, bool) {
+	return c.lookup(key, true)
+}
+
+// seek is get for the backward deepest-prefix probes of a whole-key miss:
+// a probe that lands still counts as a hit (and promotes), but a probe that
+// doesn't stays OUT of the miss counter — the walk's shorter-prefix probes
+// are part of one logical miss the caller has already recorded, not
+// additional evaluations avoided or performed (the Misses/Coalesced
+// bookkeeping below relies on that).
+func (c *cache) seek(key []byte) (*entry, bool) {
+	return c.lookup(key, false)
+}
+
+func (c *cache) lookup(key []byte, countMiss bool) (*entry, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	e, ok := s.m[string(key)] // map lookup with string(bytes) does not allocate
 	if ok {
 		s.hits++
 		s.moveToFront(e)
-	} else {
+	} else if countMiss {
 		s.misses++
 	}
 	s.mu.Unlock()
@@ -154,6 +168,11 @@ type LevelStats struct {
 	Hits, Misses uint64
 	// Evictions counts LRU evictions across all shards.
 	Evictions uint64
+	// Coalesced counts misses that were absorbed by an identical in-flight
+	// evaluation (single-flight, flight.go): the goroutine waited for the
+	// leader's result instead of re-evaluating. These are evaluations the
+	// engine did NOT perform beyond what Misses alone implies.
+	Coalesced uint64
 	// Entries is the number of cached values right now; Capacity the total
 	// the shards can hold.
 	Entries, Capacity int
@@ -173,6 +192,7 @@ func (st LevelStats) add(o LevelStats) LevelStats {
 	st.Hits += o.Hits
 	st.Misses += o.Misses
 	st.Evictions += o.Evictions
+	st.Coalesced += o.Coalesced
 	st.Entries += o.Entries
 	st.Capacity += o.Capacity
 	return st
@@ -214,7 +234,7 @@ func (c *cache) stats() LevelStats {
 func (c *cache) reset() {
 	for _, s := range c.shards {
 		s.mu.Lock()
-		s.m = make(map[string]*entry, s.capacity)
+		clear(s.m) // keep the buckets: reset is hot in cold-cache benchmarks
 		s.head, s.tail = nil, nil
 		s.hits, s.misses, s.evictions = 0, 0, 0
 		s.mu.Unlock()

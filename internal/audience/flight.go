@@ -1,0 +1,78 @@
+package audience
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Single-flight miss coalescing.
+//
+// The adversarial workloads this engine serves (the §4 probe loop replayed
+// by many API clients, the adsapi stress test) routinely issue the SAME
+// conjunction concurrently while it is still cold. Without coordination
+// every racing goroutine pays the full evaluation and the cache merely
+// deduplicates the (identical) insertions afterwards. A flightGroup
+// coalesces those racing misses: the first goroutine to claim a key becomes
+// the leader and evaluates; followers block until the leader finishes and
+// share its result.
+//
+// Coalescing cannot change ModeExact's byte-identity contract: evaluation is
+// a pure function of the key (the engine's keys fully determine the ordered
+// evaluation), so the leader's bits are exactly the bits every follower
+// would have computed on its own — sharing changes who computes, never what.
+// The same argument covers ModeCanonical, whose set-level values are pure
+// functions of the sorted key. Followers are counted in the owning level's
+// LevelStats.Coalesced.
+
+// flightCall is one in-flight evaluation.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val float64
+}
+
+// flightGroup coalesces concurrent evaluations of one cache level, keyed
+// exactly like the level's cache. The zero value is ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+	// coalesced counts follower waits (evaluations avoided).
+	coalesced atomic.Uint64
+}
+
+// do returns fn's value for key, evaluating fn at most once across
+// concurrent callers of the same key. The boolean reports whether this call
+// was a follower (shared the leader's result). Entries are transient: the
+// key is released as soon as the leader returns, so latecomers re-probe the
+// cache (which the leader has populated by then) rather than waiting here.
+func (g *flightGroup) do(key []byte, fn func() float64) (float64, bool) {
+	g.mu.Lock()
+	if c, ok := g.m[string(key)]; ok {
+		g.mu.Unlock()
+		// Counted before the wait so an in-flight leader (and tests) can
+		// observe how many followers it is about to serve.
+		g.coalesced.Add(1)
+		c.wg.Wait()
+		return c.val, true
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	k := string(key) // owned copy: the caller's buffer may be reused by fn
+	g.m[k] = c
+	g.mu.Unlock()
+	// Release waiters and the key even if fn panics — a hung follower would
+	// be strictly worse than the propagating panic.
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, k)
+		g.mu.Unlock()
+	}()
+	c.val = fn()
+	return c.val, false
+}
+
+// resetStats zeroes the coalesced counter (Engine.Reset).
+func (g *flightGroup) resetStats() { g.coalesced.Store(0) }

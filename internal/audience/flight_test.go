@@ -1,0 +1,226 @@
+package audience
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// TestFlightGroupSharesOneResult is the deterministic single-flight
+// contract: while a leader's evaluation is in flight, every concurrent call
+// for the same key waits and receives the LEADER's value; the function runs
+// exactly once. The leader blocks until all followers are registered, so the
+// test cannot pass by accident of scheduling.
+func TestFlightGroupSharesOneResult(t *testing.T) {
+	var g flightGroup
+	const followers = 6
+	key := []byte("shared-key")
+
+	var calls int
+	leaderReady := make(chan struct{})
+	results := make(chan float64, followers)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, shared := g.do(key, func() float64 {
+			calls++
+			close(leaderReady) // followers may now pile in
+			// Wait until every follower is blocked on this flight.
+			for g.coalesced.Load() < followers {
+				runtime.Gosched()
+			}
+			return 42.5
+		})
+		if shared {
+			t.Error("leader reported itself as a follower")
+		}
+		if v != 42.5 {
+			t.Errorf("leader got %v", v)
+		}
+	}()
+
+	<-leaderReady
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared := g.do(key, func() float64 {
+				t.Error("follower evaluated despite an in-flight leader")
+				return -1
+			})
+			if !shared {
+				t.Error("follower did not report coalescing")
+			}
+			results <- v
+		}()
+	}
+	wg.Wait()
+	close(results)
+	for v := range results {
+		if v != 42.5 {
+			t.Fatalf("follower received %v, want the leader's 42.5", v)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("evaluation ran %d times", calls)
+	}
+	if g.coalesced.Load() != followers {
+		t.Fatalf("coalesced counter %d, want %d", g.coalesced.Load(), followers)
+	}
+	// The entry must be released: a later call becomes a fresh leader.
+	if v, shared := g.do(key, func() float64 { return 7 }); v != 7 || shared {
+		t.Fatalf("post-flight call got (%v, shared=%v)", v, shared)
+	}
+}
+
+// TestFlightGroupDistinctKeysDoNotCoalesce guards against over-coalescing.
+func TestFlightGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g flightGroup
+	done := make(chan struct{})
+	go g.do([]byte("a"), func() float64 { <-done; return 1 })
+	// Wait for the "a" flight to be registered.
+	for {
+		g.mu.Lock()
+		n := len(g.m)
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	if v, shared := g.do([]byte("b"), func() float64 { return 2 }); v != 2 || shared {
+		t.Fatalf("key b got (%v, shared=%v); must not coalesce with key a", v, shared)
+	}
+	close(done)
+	if g.coalesced.Load() != 0 {
+		t.Fatalf("coalesced counter %d for disjoint keys", g.coalesced.Load())
+	}
+}
+
+// TestEngineConcurrentIdenticalMisses is the -race gate for miss coalescing
+// on a real engine: many goroutines fire the same cold queries through every
+// single-flighted level simultaneously; every result must carry the exact
+// bits of an independent model evaluation, with no data race (CI runs this
+// under -race via `go test -race`).
+func TestEngineConcurrentIdenticalMisses(t *testing.T) {
+	m := testModel(t)
+	ids := make([]interest.ID, 20)
+	for i := range ids {
+		ids[i] = interest.ID((i*137 + 11) % m.Catalog().Len())
+	}
+	filter := population.DemoFilter{Countries: []string{"US"}, AgeMin: 21, AgeMax: 40}
+	wantShare := m.ConjunctionShare(ids)
+	wantCond := m.ExpectedAudienceConditional(filter, ids)
+
+	for _, mode := range []Mode{ModeExact, ModeCanonical} {
+		eng := New(m, Options{Mode: mode})
+		const goroutines = 16
+		start := make(chan struct{})
+		shares := make([]float64, goroutines)
+		conds := make([]float64, goroutines)
+		var wg sync.WaitGroup
+		for gi := 0; gi < goroutines; gi++ {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				<-start
+				shares[gi] = eng.ConjunctionShare(ids)
+				conds[gi] = eng.ExpectedAudienceConditional(filter, ids)
+			}(gi)
+		}
+		close(start)
+		wg.Wait()
+		for gi := 0; gi < goroutines; gi++ {
+			// Canonical mode is defined as the exact evaluation of the
+			// SORTED ordering, so compare against that; exact mode against
+			// the query order.
+			want := wantShare
+			wantC := wantCond
+			if mode == ModeCanonical {
+				want = m.ConjunctionShare(canonicalOrder(ids))
+				wantC = m.ConditionalAudienceFromShares(m.DemoShare(filter), want)
+			}
+			if !sameBits(shares[gi], want) {
+				t.Fatalf("mode %v goroutine %d: share %v != model %v", mode, gi, shares[gi], want)
+			}
+			if !sameBits(conds[gi], wantC) {
+				t.Fatalf("mode %v goroutine %d: conditional %v != model %v", mode, gi, conds[gi], wantC)
+			}
+		}
+		// Whether followers actually overlapped is scheduling-dependent, but
+		// the counters must never exceed the duplicates issued.
+		st := eng.Stats()
+		total := st.Prefix.Coalesced + st.Set.Coalesced + st.Demo.Coalesced
+		if total > 2*(goroutines-1) {
+			t.Fatalf("mode %v: impossible coalesced count %d (%+v)", mode, total, st)
+		}
+	}
+}
+
+// TestWarmEngineHitZeroAllocs gates the zero-allocation warm path: a cache
+// hit on every level must not allocate — key buffers and sort scratch are
+// pooled, lookups probe interned keys with byte slices, and no survivor
+// state is copied on a hit.
+func TestWarmEngineHitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the 0 allocs/op gate runs in the non-race CI lane (coverage job) and locally")
+	}
+	m := testModel(t)
+	ids := make([]interest.ID, 12)
+	for i := range ids {
+		ids[i] = interest.ID((i * 61) % m.Catalog().Len())
+	}
+	unsorted := append([]interest.ID{}, ids...)
+	unsorted[0], unsorted[len(unsorted)-1] = unsorted[len(unsorted)-1], unsorted[0]
+	filter := population.DemoFilter{Countries: []string{"ES"}, AgeMin: 30, AgeMax: 39}
+
+	checks := []struct {
+		name string
+		eng  *Engine
+		fn   func(e *Engine)
+	}{
+		{"ordered-conjunction", Cached(m), func(e *Engine) { e.ConjunctionShare(ids) }},
+		{"canonical-sorted", Canonical(m), func(e *Engine) { e.ConjunctionShare(ids) }},
+		{"canonical-permuted", Canonical(m), func(e *Engine) { e.ConjunctionShare(unsorted) }},
+		{"demo-share", Cached(m), func(e *Engine) { e.DemoShare(filter) }},
+		{"conditional-audience", Cached(m), func(e *Engine) { e.ExpectedAudienceConditional(filter, ids) }},
+	}
+	for _, c := range checks {
+		c.fn(c.eng) // warm the caches (and grow the pooled buffers)
+		if avg := testing.AllocsPerRun(200, func() { c.fn(c.eng) }); avg != 0 {
+			t.Errorf("%s: %v allocs/op on a warm hit, want 0", c.name, avg)
+		}
+		if st := c.eng.Stats(); st.Total().Hits == 0 {
+			t.Errorf("%s: no cache hits recorded; the gate is vacuous", c.name)
+		}
+	}
+}
+
+// TestEvalBatchPinnedScratch smoke-checks the per-worker scratch path under
+// concurrency: a batch with duplicate queries returns input-order,
+// bit-identical results.
+func TestEvalBatchPinnedScratch(t *testing.T) {
+	m := testModel(t)
+	eng := Cached(m)
+	r := rng.New(33)
+	batch := randomConjunctions(m, 64, 12, r)
+	for i := 0; i < 32; i++ { // force duplicate cold conjunctions
+		batch = append(batch, batch[i])
+	}
+	want := make([]float64, len(batch))
+	for i, ids := range batch {
+		want[i] = m.ConjunctionShare(ids)
+	}
+	got := eng.EvalBatch(batch, 8)
+	for i := range want {
+		if !sameBits(got[i], want[i]) {
+			t.Fatalf("batch[%d]: %v != %v", i, got[i], want[i])
+		}
+	}
+}

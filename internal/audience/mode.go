@@ -18,7 +18,11 @@ const (
 	// Every result is bit-identical to an uncached evaluation of the same
 	// query in the same order — the contract determinism_test.go gates.
 	// Permuted re-probes of the same interest SET are distinct queries and
-	// mostly miss.
+	// mostly miss. Single-flight miss coalescing (flight.go) is active in
+	// this mode and cannot weaken the contract: identical keys pin the
+	// identical ordered evaluation, so a follower receives exactly the bits
+	// it would have computed itself — coalescing changes who evaluates,
+	// never what the evaluation returns.
 	ModeExact Mode = iota
 
 	// ModeCanonical adds a sort-canonicalized set-level cache above the

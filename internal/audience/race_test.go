@@ -1,0 +1,8 @@
+//go:build race
+
+package audience
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation adds allocations that would make allocation-count gates
+// (TestWarmEngineHitZeroAllocs) fail spuriously.
+const raceEnabled = true

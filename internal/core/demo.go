@@ -100,13 +100,17 @@ func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSo
 			base = 0
 		}
 		if ms.Audience != nil {
-			for i, p := range ms.Audience.PrefixShares(ids) {
+			buf := sharePool.Get().(*[]float64)
+			shares := ms.Audience.AppendPrefixShares((*buf)[:0], ids)
+			for i, p := range shares {
 				reach := int64(math.Round(1 + base*p))
 				if reach < ms.Floor() {
 					reach = ms.Floor()
 				}
 				row[i] = float64(reach)
 			}
+			*buf = shares[:0]
+			sharePool.Put(buf)
 		} else {
 			q := m.NewQuery()
 			for i, id := range ids {

@@ -3,11 +3,18 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"nanotarget/internal/audience"
 	"nanotarget/internal/interest"
 	"nanotarget/internal/population"
 )
+
+// sharePool recycles the per-walk share buffers of the engine-backed prefix
+// paths (PrefixReach, CollectWithDemographics): collection visits thousands
+// of panel users and the buffer is only live inside one user's walk, so
+// pooling keeps the warm engine path allocation-free.
+var sharePool = sync.Pool{New: func() any { return new([]float64) }}
 
 // AudienceSource is the audience-size oracle the study queries. It mirrors
 // what the paper retrieved from the FB Ads Manager API: the Potential Reach
@@ -83,9 +90,13 @@ func (s *ModelSource) PrefixReach(ids []interest.ID) ([]int64, error) {
 	}
 	out := make([]int64, len(ids))
 	if s.Audience != nil {
-		for i, p := range s.Audience.PrefixShares(ids) {
+		buf := sharePool.Get().(*[]float64)
+		shares := s.Audience.AppendPrefixShares((*buf)[:0], ids)
+		for i, p := range shares {
 			out[i] = s.clamp(1 + base*p)
 		}
+		*buf = shares[:0]
+		sharePool.Put(buf)
 		return out, nil
 	}
 	q := s.Model.NewQuery()

@@ -145,6 +145,12 @@ func Run(cfg Config) (*Report, error) {
 				ui, len(target.Interests), maxN)
 		}
 		master := randomSubset(target, maxN, cfg.Rand.Derive(fmt.Sprintf("master/%d", ui)))
+		// Materialize the master set's inclusion rows up front: the nested
+		// campaigns below all evaluate subsets of it, so warming here keeps
+		// concurrent workers from duplicating the one-time exp() cost on
+		// their racing first touches. (Purely a wall-time matter — racing
+		// touches intern identical bits.)
+		cfg.Model.WarmRows(master...)
 		for _, n := range counts {
 			jobs = append(jobs, job{ui: ui, n: n, target: target, master: master})
 		}

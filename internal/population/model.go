@@ -16,7 +16,12 @@
 //	AS(S) = Pop · E_t[ ∏_{i∈S} q(t, λᵢ) ]
 //
 // evaluated by quadrature over a discretized activity grid — there is no
-// need to materialize 1.5 billion users. Activity heterogeneity makes each
+// need to materialize 1.5 billion users. The quadrature's transcendental
+// inner loop runs on the precomputed inclusion-row kernel (rows.go): each
+// interest's per-grid-point survival factors exp(−t_k·λᵢ) are materialized
+// lazily on first touch, interned and immutable, so hot evaluation paths are
+// contiguous multiply loops — bit-identical to the inline exp() code they
+// hoist. Activity heterogeneity makes each
 // added interest filter less sharply (survivors of a long conjunction are
 // increasingly hyper-active), which produces the concave log-audience decay
 // the paper observes and fits with log(VAS) ~ −A·log(N+1) + B.
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nanotarget/internal/dist"
 	"nanotarget/internal/geo"
@@ -57,6 +63,13 @@ type Config struct {
 	// Demographics describes the population's marginal distributions.
 	// Zero value means DefaultDemographics().
 	Demographics Demographics
+	// DisableRowKernel turns off the precomputed inclusion-row kernel
+	// (rows.go) and restores the legacy per-call exp() inner loops. Results
+	// are bit-identical either way (the kernel hoists, it does not
+	// reformulate — gated in determinism_test.go); only wall time and the
+	// row-table memory (grid × 8 bytes per touched interest) change. The
+	// kernel is ON by default.
+	DisableRowKernel bool
 }
 
 // DefaultConfig returns the paper-calibrated world configuration for the
@@ -96,6 +109,14 @@ type Model struct {
 	// Cached tilted rate vectors, keyed by tilt (lazy; see WarmTilts).
 	tiltedRateCache map[float64][]float64
 
+	// rows is the inclusion-row kernel: lazily interned per-interest
+	// survival-factor rows (nil when Config.DisableRowKernel; see rows.go).
+	rows *rowKernel
+	// queryPool and vecPool recycle grid-length evaluation scratch —
+	// the allocation-free warm query path (see rows.go).
+	queryPool sync.Pool
+	vecPool   sync.Pool
+
 	demo demoModel
 }
 
@@ -126,6 +147,9 @@ func NewModel(cfg Config) (*Model, error) {
 	m.buildActivityGrid()
 	if err := m.calibrateRates(); err != nil {
 		return nil, err
+	}
+	if !cfg.DisableRowKernel {
+		m.initRows()
 	}
 	m.countTable = m.buildCountTable(0)
 	var err error

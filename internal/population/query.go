@@ -52,10 +52,22 @@ func (m *Model) NewQuery() *Query {
 }
 
 // And narrows the conjunction with one more interest and returns the query.
+//
+// With the row kernel enabled (the default) the survivor update is a
+// contiguous multiply loop over the interest's interned row: the factor
+// 1 − e equals the legacy 1 − exp(−t·λ) bit for bit because the row holds
+// exactly the exp the legacy loop computed inline (see rows.go).
 func (q *Query) And(id interest.ID) *Query {
-	lambda := q.m.lambda[id]
-	for k, t := range q.m.actT {
-		q.partial[k] *= 1 - math.Exp(-t*lambda)
+	if row := q.m.row(id); row != nil {
+		p := q.partial[:len(row)]
+		for k, e := range row {
+			p[k] *= 1 - e
+		}
+	} else {
+		lambda := q.m.lambda[id]
+		for k, t := range q.m.actT {
+			q.partial[k] *= 1 - math.Exp(-t*lambda)
+		}
 	}
 	q.n++
 	return q
@@ -117,7 +129,19 @@ func (m *Model) ConjunctionShare(ids []interest.ID) float64 {
 // audience holds at least one interest from every clause (clauses are ANDed,
 // interests within a clause ORed). A single-interest clause degenerates to
 // ConjunctionShare behaviour.
+//
+// With the row kernel enabled this runs as clause-major contiguous multiply
+// loops over interned rows instead of a per-grid-point exp() triple loop.
+// The restructure is bit-identical: per grid point the very same factors are
+// multiplied in the very same order (rows hold the exact exp(−t·λ) bits the
+// legacy loop computed inline; the legacy early-break only ever skipped
+// multiplications of the form 0·x with x ∈ [0,1], which cannot change the
+// product), and the final probability-weighted sum accumulates in the same
+// grid order. Gated with the rest of the kernel in determinism_test.go.
 func (m *Model) UnionConjunctionShare(clauses [][]interest.ID) float64 {
+	if m.rows != nil {
+		return m.unionShareKernel(clauses)
+	}
 	s := 0.0
 	for k, t := range m.actT {
 		prod := 1.0
@@ -133,6 +157,60 @@ func (m *Model) UnionConjunctionShare(clauses [][]interest.ID) float64 {
 		}
 		s += m.actP[k] * prod
 	}
+	return s
+}
+
+// unionShareKernel is the row-kernel evaluation of UnionConjunctionShare.
+// Scratch vectors come from the model's pool, so a warm call allocates only
+// when a clause's row is still unmaterialized.
+func (m *Model) unionShareKernel(clauses [][]interest.ID) float64 {
+	prodp := m.borrowVec()
+	prod := *prodp
+	for k := range prod {
+		prod[k] = 1
+	}
+	var (
+		missp *[]float64
+		miss  []float64
+	)
+	for _, clause := range clauses {
+		if len(clause) == 1 {
+			// One-interest clause: 1·e = e exactly, so the clause factor is
+			// 1 − e directly — no miss vector needed.
+			row := m.row(clause[0])
+			p := prod[:len(row)]
+			for k, e := range row {
+				p[k] *= 1 - e
+			}
+			continue
+		}
+		if missp == nil {
+			missp = m.borrowVec()
+			miss = *missp
+		}
+		for k := range miss {
+			miss[k] = 1
+		}
+		for _, id := range clause {
+			row := m.row(id)
+			mv := miss[:len(row)]
+			for k, e := range row {
+				mv[k] *= e
+			}
+		}
+		p := prod[:len(miss)]
+		for k, mk := range miss {
+			p[k] *= 1 - mk
+		}
+	}
+	s := 0.0
+	for k, p := range m.actP {
+		s += p * prod[k]
+	}
+	if missp != nil {
+		m.returnVec(missp)
+	}
+	m.returnVec(prodp)
 	return s
 }
 

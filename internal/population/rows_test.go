@@ -1,0 +1,202 @@
+package population
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/rng"
+)
+
+// rowTestModels builds a kernel-on / kernel-off model pair over one catalog.
+func rowTestModels(t *testing.T) (on, off *Model) {
+	t.Helper()
+	icfg := interest.DefaultConfig()
+	icfg.Size = 1500
+	cat, err := interest.Generate(icfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(disable bool) *Model {
+		cfg := DefaultConfig(cat)
+		cfg.ActivityGridSize = 128
+		cfg.DisableRowKernel = disable
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return build(false), build(true)
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestRowKernelBitIdentical is the hoisting contract at the model level:
+// every evaluation path — incremental And, whole conjunctions, resumed
+// queries and flexible_spec unions — must return the exact bits of the
+// legacy inline-exp() code.
+func TestRowKernelBitIdentical(t *testing.T) {
+	on, off := rowTestModels(t)
+	if !on.RowKernelEnabled() || off.RowKernelEnabled() {
+		t.Fatal("row-kernel knob did not take effect")
+	}
+	r := rng.New(21)
+	catLen := on.Catalog().Len()
+	randIDs := func(n int) []interest.ID {
+		ids := make([]interest.ID, n)
+		for i := range ids {
+			ids[i] = interest.ID(r.Intn(catLen))
+		}
+		return ids
+	}
+	// Whole conjunctions and per-prefix shares.
+	for trial := 0; trial < 60; trial++ {
+		ids := randIDs(1 + r.Intn(25))
+		qOn, qOff := on.NewQuery(), off.NewQuery()
+		for i, id := range ids {
+			qOn.And(id)
+			qOff.And(id)
+			if a, b := qOn.Share(), qOff.Share(); !bitsEqual(a, b) {
+				t.Fatalf("trial %d prefix %d: kernel %v != legacy %v", trial, i+1, a, b)
+			}
+		}
+		if a, b := on.ConjunctionShare(ids), off.ConjunctionShare(ids); !bitsEqual(a, b) {
+			t.Fatalf("trial %d: ConjunctionShare kernel %v != legacy %v", trial, a, b)
+		}
+		// Resuming mid-conjunction must agree too (the audience engine's
+		// extension path).
+		if len(ids) > 2 {
+			half := len(ids) / 2
+			qh := on.NewQuery()
+			for _, id := range ids[:half] {
+				qh.And(id)
+			}
+			res := on.ResumeQuery(qh.Survivors(), half)
+			for _, id := range ids[half:] {
+				res.And(id)
+			}
+			if a, b := res.Share(), off.ConjunctionShare(ids); !bitsEqual(a, b) {
+				t.Fatalf("trial %d: resumed kernel %v != legacy %v", trial, a, b)
+			}
+		}
+	}
+	// flexible_spec unions: mixed single- and multi-interest clauses,
+	// including the degenerate pure-conjunction shape.
+	for trial := 0; trial < 60; trial++ {
+		clauses := make([][]interest.ID, 1+r.Intn(6))
+		for c := range clauses {
+			clauses[c] = randIDs(1 + r.Intn(4))
+		}
+		if a, b := on.UnionConjunctionShare(clauses), off.UnionConjunctionShare(clauses); !bitsEqual(a, b) {
+			t.Fatalf("trial %d: union kernel %v != legacy %v (clauses %v)", trial, a, b, clauses)
+		}
+	}
+}
+
+// TestRowKernelLaziness pins the memory contract: no rows at construction,
+// one row per touched interest, full table after WarmAllRows, empty after
+// ResetRows.
+func TestRowKernelLaziness(t *testing.T) {
+	on, off := rowTestModels(t)
+	if n, b := on.RowStats(); n != 0 || b != 0 {
+		t.Fatalf("fresh model has %d rows (%d bytes) materialized", n, b)
+	}
+	ids := []interest.ID{3, 99, 711, 3, 99} // 3 distinct
+	on.ConjunctionShare(ids)
+	grid := len(on.actT)
+	if n, b := on.RowStats(); n != 3 || b != int64(3*grid*8) {
+		t.Fatalf("after touching 3 distinct interests: %d rows, %d bytes", n, b)
+	}
+	on.WarmRows(5, 6, 7)
+	if n, _ := on.RowStats(); n != 6 {
+		t.Fatalf("after WarmRows(3 more): %d rows", n)
+	}
+	on.WarmAllRows()
+	if n, _ := on.RowStats(); n != on.Catalog().Len() {
+		t.Fatalf("after WarmAllRows: %d rows, want %d", n, on.Catalog().Len())
+	}
+	on.ResetRows()
+	if n, b := on.RowStats(); n != 0 || b != 0 {
+		t.Fatalf("after ResetRows: %d rows, %d bytes", n, b)
+	}
+	// Disabled kernel: everything is a no-op and stats stay zero.
+	off.WarmAllRows()
+	off.ConjunctionShare(ids)
+	if n, b := off.RowStats(); n != 0 || b != 0 {
+		t.Fatalf("disabled kernel materialized %d rows (%d bytes)", n, b)
+	}
+}
+
+// TestRowInterning checks concurrent first touches intern one canonical row.
+func TestRowInterning(t *testing.T) {
+	on, _ := rowTestModels(t)
+	const goroutines = 8
+	rows := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rows[g] = on.row(42)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if &rows[g][0] != &rows[0][0] {
+			t.Fatalf("goroutine %d holds a different row backing array", g)
+		}
+	}
+	if n, _ := on.RowStats(); n != 1 {
+		t.Fatalf("%d rows materialized for one interest", n)
+	}
+}
+
+// TestBorrowQueryPool checks the pooled query API matches the allocating one
+// and that released state cannot leak into the next borrow.
+func TestBorrowQueryPool(t *testing.T) {
+	on, _ := rowTestModels(t)
+	ids := []interest.ID{10, 20, 30, 40}
+	want := on.ConjunctionShare(ids)
+
+	q := on.BorrowQuery()
+	for _, id := range ids {
+		q.And(id)
+	}
+	if got := q.Share(); !bitsEqual(got, want) {
+		t.Fatalf("borrowed query %v != %v", got, want)
+	}
+	surv := q.Survivors()
+	q.Release()
+
+	// A fresh borrow (very likely the recycled object) must start clean:
+	// bit-equal to a brand-new query's empty share (Σ actP, not exactly 1).
+	q2 := on.BorrowQuery()
+	if got, fresh := q2.Share(), on.NewQuery().Share(); !bitsEqual(got, fresh) {
+		t.Fatalf("recycled query not reset: empty share %v, want %v", got, fresh)
+	}
+	if q2.Len() != 0 {
+		t.Fatalf("recycled query Len %d, want 0", q2.Len())
+	}
+	q2.Release()
+
+	// BorrowResumeQuery must restore the exact survivor state.
+	q3 := on.BorrowResumeQuery(surv, len(ids))
+	if got := q3.Share(); !bitsEqual(got, want) {
+		t.Fatalf("resumed borrowed query %v != %v", got, want)
+	}
+	if q3.Len() != len(ids) {
+		t.Fatalf("resumed borrowed query Len %d != %d", q3.Len(), len(ids))
+	}
+	q3.Release()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BorrowResumeQuery accepted a wrong-length survivor vector")
+		}
+	}()
+	on.BorrowResumeQuery(make([]float64, 3), 1)
+}

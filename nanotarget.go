@@ -56,6 +56,7 @@ type config struct {
 	cacheOff      bool
 	cacheCapacity int
 	cacheMode     audience.Mode
+	rowKernelOff  bool
 }
 
 // Option customizes world construction.
@@ -111,6 +112,16 @@ func WithAudienceCacheMode(m audience.Mode) Option {
 	return func(c *config) { c.cacheMode = m }
 }
 
+// WithRowKernel toggles the population model's precomputed inclusion-row
+// kernel (default on). The kernel hoists the per-grid-point exp() of every
+// audience evaluation into lazily materialized, interned per-interest rows,
+// turning cold conjunction and flexible_spec-union evaluation into
+// contiguous multiply loops. Results are bit-identical either way under a
+// fixed seed (the kernel hoists the exact inline expressions — gated in
+// determinism_test.go); only wall time and row-table memory
+// (ActivityGrid × 8 bytes per touched interest) change.
+func WithRowKernel(on bool) Option { return func(c *config) { c.rowKernelOff = !on } }
+
 // WithParallelism sets the worker count used by every study and experiment
 // the world runs (default 0 = runtime.GOMAXPROCS(0), i.e. one worker per
 // core; 1 = sequential execution on the caller's goroutine). Results are
@@ -151,6 +162,7 @@ func NewWorld(opts ...Option) (*World, error) {
 		pcfg.ActivitySigma = cfg.activitySigma
 	}
 	pcfg.ActivityGridSize = cfg.gridSize
+	pcfg.DisableRowKernel = cfg.rowKernelOff
 	model, err := population.NewModel(pcfg)
 	if err != nil {
 		return nil, fmt.Errorf("nanotarget: building population model: %w", err)
@@ -215,6 +227,14 @@ func (w *World) AudienceCacheStats() audience.Stats { return w.audience.Stats() 
 
 // AudienceCacheMode reports the cache contract the world was built with.
 func (w *World) AudienceCacheMode() audience.Mode { return w.audience.Mode() }
+
+// WarmAudienceRows materializes the full inclusion-row table up front
+// (population.Model.WarmAllRows) so no audience evaluation pays first-touch
+// exp() cost — the serving-deployment trade documented in
+// internal/population/rows.go: catalog × grid × 8 bytes of memory (~400 MiB
+// at the full paper scale, ~80 MiB for a 20k-interest catalog at the default
+// 512-point grid). No-op when the kernel is off (WithRowKernel(false)).
+func (w *World) WarmAudienceRows() { w.model.WarmAllRows() }
 
 // PanelUsers exposes the panel for advanced, in-module use.
 func (w *World) PanelUsers() []*population.User { return w.panel.Users }
