@@ -762,6 +762,53 @@ func BenchmarkAudienceEndToEnd(b *testing.B) {
 	})
 }
 
+// --- Uniqueness estimator (the columnar bootstrap kernel) ---
+
+// BenchmarkUniquenessEstimate is the acceptance benchmark for the columnar
+// bootstrap kernel: one full EstimateNP (point fit + 1,000-iteration
+// bootstrap CI; the paper runs 10,000) on pre-collected bench-world
+// samples, with the kernel's presorted counting quantiles versus the naive
+// gather-copy-sort resample path. Both produce byte-identical estimates
+// (TestColumnKernelIsByteIdentical); this bench records what the kernel
+// buys in wall time — the kernel/naive ratio is the headline number in
+// BENCH_uniqueness.json, CI-gated at >= 2x.
+func BenchmarkUniquenessEstimate(b *testing.B) {
+	w := getBenchWorld(b)
+	src := core.NewModelSource(w.Model())
+	collect := func(naive bool) *core.Samples {
+		s, err := core.Collect(w.PanelUsers(), core.Random{}, src,
+			core.CollectConfig{Seed: rng.New(1), DisableColumnKernel: naive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	run := func(b *testing.B, s *core.Samples) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EstimateNP(s, 0.9, core.EstimateConfig{
+				BootstrapIters: 1000,
+				CILevel:        0.95,
+				Rand:           rng.New(uint64(i)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("kernel", func(b *testing.B) {
+		s := collect(false)
+		if _, err := core.EstimateNP(s, 0.9, core.EstimateConfig{}); err != nil {
+			b.Fatal(err) // warm: build the column index outside the timer
+		}
+		b.ResetTimer()
+		run(b, s)
+	})
+	b.Run("naive", func(b *testing.B) {
+		s := collect(true)
+		b.ResetTimer()
+		run(b, s)
+	})
+}
+
 // BenchmarkWorldConstruction measures full world calibration (catalog,
 // rates, panel) at bench scale.
 func BenchmarkWorldConstruction(b *testing.B) {

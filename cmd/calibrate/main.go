@@ -36,6 +36,7 @@ func main() {
 		psigma      = flag.Float64("psigma", 1.15, "panel profile-size log-sigma")
 		mixture     = flag.Float64("mixture", 0.05, "panel small-profile mixture weight")
 		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
+		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func main() {
 		scfg := core.DefaultStudyConfig(root.Derive(fmt.Sprintf("study/%.3f", sigma)))
 		scfg.BootstrapIters = *boot
 		scfg.Parallelism = *workers
+		scfg.DisableColumnKernel = !*colKernel
 		start = time.Now()
 		res, err := core.RunStudy(panel.Users, core.NewModelSource(model), scfg)
 		if err != nil {

@@ -38,6 +38,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "world seed")
 		out         = flag.String("out", "", "directory for CSV output (optional)")
 		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
+		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		nanotarget.WithCatalogSize(*catalogSize),
 		nanotarget.WithPanelSize(*panelSize),
 		nanotarget.WithParallelism(*workers),
+		nanotarget.WithColumnKernel(*colKernel),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -37,6 +37,7 @@ func main() {
 		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
 		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
 		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
+		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		nanotarget.WithAudienceCache(*cache),
 		nanotarget.WithAudienceCacheCapacity(*cacheCap),
 		nanotarget.WithAudienceCacheMode(mode),
+		nanotarget.WithColumnKernel(*colKernel),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -82,10 +82,11 @@ func CollectWithDemographics(users []*population.User, sel Selector, ms *ModelSo
 	}
 	m := ms.Model
 	s := &Samples{
-		AS:         make([][]float64, len(users)),
-		MaxN:       maxN,
-		FloorValue: float64(ms.Floor()),
-		Strategy:   sel.Name() + "+demo",
+		AS:                  make([][]float64, len(users)),
+		MaxN:                maxN,
+		FloorValue:          float64(ms.Floor()),
+		Strategy:            sel.Name() + "+demo",
+		DisableColumnKernel: cfg.DisableColumnKernel,
 	}
 	err := parallel.ForEach(context.Background(), len(users), cfg.Parallelism, func(ui int) error {
 		u := users[ui]
@@ -148,15 +149,33 @@ func (d DemographicStudy) Saved() float64 {
 	return d.InterestOnly.NP - d.WithDemographics.NP
 }
 
+// DemoStudyConfig configures RunDemographicStudy. Seed is required.
+type DemoStudyConfig struct {
+	// P is the uniqueness probability (paper baseline: 0.9).
+	P float64
+	// BootstrapIters per estimate.
+	BootstrapIters int
+	// Seed drives the shared selection stream and both bootstraps. Required.
+	Seed *rng.Rand
+	// Parallelism spreads collection and bootstrap over that many
+	// goroutines (0 = one per core, 1 = sequential) without changing the
+	// result.
+	Parallelism int
+	// DisableColumnKernel restores the naive sort-per-resample bootstrap
+	// path (see Samples.DisableColumnKernel; bit-identical either way).
+	DisableColumnKernel bool
+}
+
 // RunDemographicStudy estimates both variants with a shared selection seed
-// so the comparison isolates the demographic narrowing. workers spreads
-// collection and bootstrap over that many goroutines (0 = one per core,
-// 1 = sequential) without changing the result.
-func RunDemographicStudy(users []*population.User, ms *ModelSource, know KnowledgeFn, p float64, boot int, seed *rng.Rand, workers int) (DemographicStudy, error) {
-	if seed == nil {
+// so the comparison isolates the demographic narrowing.
+func RunDemographicStudy(users []*population.User, ms *ModelSource, know KnowledgeFn, cfg DemoStudyConfig) (DemographicStudy, error) {
+	if cfg.Seed == nil {
 		return DemographicStudy{}, errors.New("core: seed is required")
 	}
-	baseSamples, err := Collect(users, Random{}, ms, CollectConfig{Seed: seed.Derive("plain"), Parallelism: workers})
+	seed, p, boot, workers := cfg.Seed, cfg.P, cfg.BootstrapIters, cfg.Parallelism
+	baseSamples, err := Collect(users, Random{}, ms, CollectConfig{
+		Seed: seed.Derive("plain"), Parallelism: workers, DisableColumnKernel: cfg.DisableColumnKernel,
+	})
 	if err != nil {
 		return DemographicStudy{}, fmt.Errorf("core: interest-only collection: %w", err)
 	}
@@ -166,7 +185,9 @@ func RunDemographicStudy(users []*population.User, ms *ModelSource, know Knowled
 	if err != nil {
 		return DemographicStudy{}, err
 	}
-	demoSamples, err := CollectWithDemographics(users, Random{}, ms, know, CollectConfig{Seed: seed.Derive("plain"), Parallelism: workers})
+	demoSamples, err := CollectWithDemographics(users, Random{}, ms, know, CollectConfig{
+		Seed: seed.Derive("plain"), Parallelism: workers, DisableColumnKernel: cfg.DisableColumnKernel,
+	})
 	if err != nil {
 		return DemographicStudy{}, fmt.Errorf("core: demographic collection: %w", err)
 	}

@@ -93,7 +93,9 @@ func TestRunDemographicStudySavesInterests(t *testing.T) {
 	m, users := demoStudyWorld(t)
 	ms := NewModelSource(m)
 	know := DemographicKnowledge{Country: true, Gender: true, AgeYears: true, AgeSlack: 1}.Fn()
-	study, err := RunDemographicStudy(users, ms, know, 0.9, 50, rng.New(7), 1)
+	study, err := RunDemographicStudy(users, ms, know, DemoStudyConfig{
+		P: 0.9, BootstrapIters: 50, Seed: rng.New(7), Parallelism: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestCollectWithDemographicsValidation(t *testing.T) {
 	if _, err := CollectWithDemographics(users, Random{}, ms, nil, CollectConfig{}); err == nil {
 		t.Error("missing seed accepted")
 	}
-	if _, err := RunDemographicStudy(users, ms, nil, 0.9, 10, nil, 1); err == nil {
+	if _, err := RunDemographicStudy(users, ms, nil, DemoStudyConfig{P: 0.9, BootstrapIters: 10, Parallelism: 1}); err == nil {
 		t.Error("nil seed accepted")
 	}
 	// nil KnowledgeFn degenerates to the unfiltered study and must work.

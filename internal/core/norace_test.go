@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// coreRaceEnabled reports that this test binary was built without -race;
+// see race_test.go for the counterpart. Allocation-count gates
+// (TestWarmResampleZeroAllocs) only run in non-race lanes because race
+// instrumentation adds allocations.
+const coreRaceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// coreRaceEnabled reports that this test binary was built with -race, whose
+// instrumentation adds allocations that would make allocation-count gates
+// (TestWarmResampleZeroAllocs) fail spuriously.
+const coreRaceEnabled = true

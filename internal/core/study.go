@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
@@ -30,6 +31,22 @@ type Samples struct {
 	FloorValue float64
 	// Strategy is the selector name that produced the samples.
 	Strategy string
+	// DisableColumnKernel turns off the presorted columnar bootstrap kernel
+	// (columns.go) and restores the naive gather-copy-sort quantile path.
+	// Results are bit-identical either way (the kernel hoists the sort out
+	// of the loop, it does not reformulate the quantile — gated in
+	// determinism_test.go); only wall time and the column-index memory
+	// (12 bytes per non-NaN cell) change. The kernel is ON by default.
+	// Must not be flipped concurrently with quantile queries.
+	DisableColumnKernel bool
+
+	// Columnar-kernel state: the lazily built presorted index and the
+	// pooled per-resample scratch (see columns.go). Zero values are ready;
+	// AS and MaxN must not change once the index has been built.
+	colOnce      sync.Once
+	cols         *columnIndex
+	resamplePool sync.Pool
+	countsPool   stats.CountsPool
 }
 
 // CollectConfig controls sample collection.
@@ -45,6 +62,10 @@ type CollectConfig struct {
 	// any value. The audience source must be safe for concurrent queries
 	// when Parallelism != 1 (ModelSource is: model queries are read-only).
 	Parallelism int
+	// DisableColumnKernel is copied onto the collected Samples: true
+	// restores the naive sort-per-resample quantile path (see
+	// Samples.DisableColumnKernel; results are bit-identical either way).
+	DisableColumnKernel bool
 }
 
 // Collect runs the §4.1 data collection: for every panel user, select up to
@@ -66,10 +87,11 @@ func Collect(users []*population.User, sel Selector, src AudienceSource, cfg Col
 	}
 	cat := catalogOf(src)
 	s := &Samples{
-		AS:         make([][]float64, len(users)),
-		MaxN:       maxN,
-		FloorValue: float64(src.Floor()),
-		Strategy:   sel.Name(),
+		AS:                  make([][]float64, len(users)),
+		MaxN:                maxN,
+		FloorValue:          float64(src.Floor()),
+		Strategy:            sel.Name(),
+		DisableColumnKernel: cfg.DisableColumnKernel,
 	}
 	prefix, hasPrefix := src.(PrefixSource)
 	err := parallel.ForEach(context.Background(), len(users), cfg.Parallelism, func(ui int) error {
@@ -124,11 +146,16 @@ func catalogOf(src AudienceSource) *interest.Catalog {
 func (s *Samples) NumUsers() int { return len(s.AS) }
 
 // SampleCountAt returns how many users contribute a sample at combination
-// size n (1-based).
+// size n (1-based). With the column kernel active the count is read off the
+// presorted index (one slice length) instead of rescanning every row — the
+// per-N O(U) scan the report and figure paths used to pay.
 func (s *Samples) SampleCountAt(n int) int {
+	if !s.DisableColumnKernel && n >= 1 && n <= s.MaxN {
+		return len(s.columns().vals[n-1])
+	}
 	count := 0
 	for _, row := range s.AS {
-		if n-1 < len(row) && !math.IsNaN(row[n-1]) {
+		if n-1 >= 0 && n-1 < len(row) && !math.IsNaN(row[n-1]) {
 			count++
 		}
 	}
@@ -139,11 +166,17 @@ func (s *Samples) SampleCountAt(n int) int {
 // q in (0,1): the per-N q-quantile of audience size across users (§4.1).
 // Index i holds AS(Q, i+1). Entries with no samples are NaN.
 func (s *Samples) VAS(q float64) []float64 {
+	if !s.DisableColumnKernel {
+		return s.vasFull(q)
+	}
 	return s.vasIdx(q, nil)
 }
 
 // vasIdx computes VAS over a subset of user rows (nil = all rows); idx may
-// contain repeats (bootstrap resamples).
+// contain repeats (bootstrap resamples). This is the naive
+// gather-copy-sort path the columnar kernel (columns.go) replaces; it is
+// kept as the DisableColumnKernel fallback and as the differential oracle
+// the kernel is fuzzed against.
 func (s *Samples) vasIdx(q float64, idx []int) []float64 {
 	out := make([]float64, s.MaxN)
 	col := make([]float64, 0, len(s.AS))
@@ -194,8 +227,14 @@ type FitResult struct {
 // including the FIRST floored value, drop the rest — then fits
 // log10(VAS) ~ −A·log10(N+1) + B and derives N_P.
 func FitVAS(vas []float64, floor float64) (FitResult, error) {
-	xs := make([]float64, 0, len(vas))
-	ys := make([]float64, 0, len(vas))
+	return fitVASInto(make([]float64, 0, len(vas)), make([]float64, 0, len(vas)), vas, floor)
+}
+
+// fitVASInto is FitVAS appending the censored fit points into caller-owned
+// scratch (the bootstrap loop passes pooled buffers so a warm resample
+// iteration allocates nothing; contents are overwritten, capacity reused).
+func fitVASInto(xs, ys []float64, vas []float64, floor float64) (FitResult, error) {
+	xs, ys = xs[:0], ys[:0]
 	for i, v := range vas {
 		if math.IsNaN(v) {
 			break
@@ -295,7 +334,19 @@ func EstimateNP(s *Samples, p float64, cfg EstimateConfig) (Estimate, error) {
 		}
 		ci, _, err := stats.BootstrapCIParallel(s.NumUsers(), cfg.BootstrapIters, cfg.Parallelism, level, cfg.Rand,
 			func(idx []int) (float64, error) {
-				fit, err := FitVAS(s.vasIdx(p, idx), s.FloorValue)
+				if s.DisableColumnKernel {
+					fit, err := FitVAS(s.vasIdx(p, idx), s.FloorValue)
+					if err != nil {
+						return 0, err
+					}
+					return fit.NP, nil
+				}
+				// The columnar kernel path: pooled counting scratch, the
+				// presorted index, pooled fit buffers — zero allocations
+				// per warm iteration (TestWarmResampleZeroAllocs).
+				sc := s.borrowResample()
+				fit, err := fitVASInto(sc.xs, sc.ys, s.vasResample(p, idx, sc), s.FloorValue)
+				s.releaseResample(sc)
 				if err != nil {
 					return 0, err
 				}

@@ -38,6 +38,9 @@ type StudyConfig struct {
 	// Parallelism is the worker count for collection and bootstrap
 	// (0 = one per core, 1 = sequential); results are identical either way.
 	Parallelism int
+	// DisableColumnKernel restores the naive sort-per-resample bootstrap
+	// path (see Samples.DisableColumnKernel; bit-identical either way).
+	DisableColumnKernel bool
 }
 
 // DefaultStudyConfig mirrors the paper's Table 1 setup.
@@ -63,9 +66,10 @@ func RunStudy(users []*population.User, src AudienceSource, cfg StudyConfig) (*S
 	res := &StudyResult{Samples: make(map[string]*Samples, len(cfg.Selectors))}
 	for _, sel := range cfg.Selectors {
 		samples, err := Collect(users, sel, src, CollectConfig{
-			MaxN:        cfg.MaxN,
-			Seed:        cfg.Rand.Derive("collect/" + sel.Name()),
-			Parallelism: cfg.Parallelism,
+			MaxN:                cfg.MaxN,
+			Seed:                cfg.Rand.Derive("collect/" + sel.Name()),
+			Parallelism:         cfg.Parallelism,
+			DisableColumnKernel: cfg.DisableColumnKernel,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: collecting %s samples: %w", sel.Name(), err)
@@ -103,17 +107,41 @@ type GroupResult struct {
 	Estimate Estimate
 }
 
-// RunGroupAnalysis estimates N_P (single probability p, paper uses 0.9) for
-// each demographic group under each selector — the Appendix C analysis
-// behind Figures 8, 9 and 10. workers spreads each group's collection and
-// bootstrap across goroutines (0 = one per core, 1 = sequential) without
-// changing the result.
-func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []GroupFilter, selectors []Selector, p float64, iters int, r *rng.Rand, workers int) ([]GroupResult, error) {
-	if r == nil {
+// GroupConfig configures RunGroupAnalysis. Groups, Selectors and Rand are
+// required.
+type GroupConfig struct {
+	// Groups are the demographic sub-panels (GenderGroups, AgeGroups,
+	// CountryGroups, or custom filters).
+	Groups []GroupFilter
+	// Selectors to evaluate per group (paper: LeastPopular and Random).
+	Selectors []Selector
+	// P is the uniqueness probability (paper: 0.9).
+	P float64
+	// BootstrapIters per estimate.
+	BootstrapIters int
+	// Rand seeds per-group selection and bootstrap. Required.
+	Rand *rng.Rand
+	// Parallelism spreads each group's collection and bootstrap across this
+	// many goroutines (0 = one per core, 1 = sequential) without changing
+	// the result.
+	Parallelism int
+	// DisableColumnKernel restores the naive sort-per-resample bootstrap
+	// path (see Samples.DisableColumnKernel; bit-identical either way).
+	DisableColumnKernel bool
+}
+
+// RunGroupAnalysis estimates N_P (single probability cfg.P, paper uses 0.9)
+// for each demographic group under each selector — the Appendix C analysis
+// behind Figures 8, 9 and 10.
+func RunGroupAnalysis(users []*population.User, src AudienceSource, cfg GroupConfig) ([]GroupResult, error) {
+	if cfg.Rand == nil {
 		return nil, errors.New("core: rand is required")
 	}
+	if len(cfg.Groups) == 0 || len(cfg.Selectors) == 0 {
+		return nil, errors.New("core: GroupConfig needs Groups and Selectors")
+	}
 	var out []GroupResult
-	for _, g := range groups {
+	for _, g := range cfg.Groups {
 		var sub []*population.User
 		for _, u := range users {
 			if g.Match(u) {
@@ -123,19 +151,20 @@ func RunGroupAnalysis(users []*population.User, src AudienceSource, groups []Gro
 		if len(sub) == 0 {
 			return nil, fmt.Errorf("core: group %q matched no users", g.Label)
 		}
-		for _, sel := range selectors {
+		for _, sel := range cfg.Selectors {
 			samples, err := Collect(sub, sel, src, CollectConfig{
-				Seed:        r.Derive("group/" + g.Label + "/" + sel.Name()),
-				Parallelism: workers,
+				Seed:                cfg.Rand.Derive("group/" + g.Label + "/" + sel.Name()),
+				Parallelism:         cfg.Parallelism,
+				DisableColumnKernel: cfg.DisableColumnKernel,
 			})
 			if err != nil {
 				return nil, err
 			}
-			est, err := EstimateNP(samples, p, EstimateConfig{
-				BootstrapIters: iters,
+			est, err := EstimateNP(samples, cfg.P, EstimateConfig{
+				BootstrapIters: cfg.BootstrapIters,
 				CILevel:        0.95,
-				Rand:           r.Derive("groupboot/" + g.Label + "/" + sel.Name()),
-				Parallelism:    workers,
+				Rand:           cfg.Rand.Derive("groupboot/" + g.Label + "/" + sel.Name()),
+				Parallelism:    cfg.Parallelism,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: group %q (%s): %w", g.Label, sel.Name(), err)

@@ -103,8 +103,12 @@ type Model struct {
 	// Monotone table for expected interest count n(t), untilted.
 	countTable *countTable
 
-	// Cached tilted count tables (built lazily at construction for the
-	// tilts declared in Demographics).
+	// tiltMu guards first-touch inserts into tiltTables and
+	// tiltedRateCache, so an unwarmed tilt may be hit concurrently (the
+	// read path takes an RLock; entries are immutable once published —
+	// the map analogue of rows.go's one-slot-per-interest interning).
+	tiltMu sync.RWMutex
+	// Cached tilted count tables, built lazily on first touch per tilt.
 	tiltTables map[float64]*countTable
 	// Cached tilted rate vectors, keyed by tilt (lazy; see WarmTilts).
 	tiltedRateCache map[float64][]float64
@@ -139,10 +143,11 @@ func NewModel(cfg Config) (*Model, error) {
 		cfg.Demographics = DefaultDemographics()
 	}
 	m := &Model{
-		cfg:        cfg,
-		pop:        cfg.Population,
-		catalog:    cfg.Catalog,
-		tiltTables: make(map[float64]*countTable),
+		cfg:             cfg,
+		pop:             cfg.Population,
+		catalog:         cfg.Catalog,
+		tiltTables:      make(map[float64]*countTable),
+		tiltedRateCache: make(map[float64][]float64),
 	}
 	m.buildActivityGrid()
 	if err := m.calibrateRates(); err != nil {
@@ -341,22 +346,34 @@ func (tbl *countTable) activityForCount(want float64) float64 {
 }
 
 // table returns the count table for a tilt, building and caching it on
-// first use. Not safe for concurrent first-use; Models used concurrently
-// should pre-warm tilts via WarmTilts.
+// first use. Safe for concurrent first touch: readers take an RLock, the
+// first toucher of a tilt builds under the write lock and publishes an
+// immutable table (racing first touches serialize; both would build
+// identical bits, only one is interned).
 func (m *Model) table(beta float64) *countTable {
 	if beta == 0 {
 		return m.countTable
 	}
-	if t, ok := m.tiltTables[beta]; ok {
+	m.tiltMu.RLock()
+	t, ok := m.tiltTables[beta]
+	m.tiltMu.RUnlock()
+	if ok {
 		return t
 	}
-	t := m.buildCountTable(beta)
+	m.tiltMu.Lock()
+	defer m.tiltMu.Unlock()
+	if t, ok := m.tiltTables[beta]; ok {
+		return t // a racing first touch published while we waited
+	}
+	t = m.buildCountTable(beta)
 	m.tiltTables[beta] = t
 	return t
 }
 
-// WarmTilts precomputes count tables for the given tilts so that subsequent
-// use is read-only and concurrency-safe.
+// WarmTilts precomputes count tables for the given tilts. Since the tilt
+// caches became first-touch safe this is purely a latency optimization
+// (skip the one-time build under load), no longer a correctness
+// requirement.
 func (m *Model) WarmTilts(betas ...float64) {
 	for _, b := range betas {
 		_ = m.table(b)

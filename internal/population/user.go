@@ -85,14 +85,21 @@ func (m *Model) SampleInterests(t, beta float64, r *rng.Rand) []interest.ID {
 }
 
 // tiltedRates caches λ' vectors per tilt (small number of distinct tilts).
+// Safe for concurrent first touch: same RLock/build-under-Lock discipline
+// as Model.table, sharing tiltMu. Published vectors are immutable.
 func (m *Model) tiltedRates(beta float64) []float64 {
-	if m.tiltedRateCache == nil {
-		m.tiltedRateCache = make(map[float64][]float64)
-	}
-	if v, ok := m.tiltedRateCache[beta]; ok {
+	m.tiltMu.RLock()
+	v, ok := m.tiltedRateCache[beta]
+	m.tiltMu.RUnlock()
+	if ok {
 		return v
 	}
-	v := make([]float64, len(m.lambda))
+	m.tiltMu.Lock()
+	defer m.tiltMu.Unlock()
+	if v, ok := m.tiltedRateCache[beta]; ok {
+		return v // a racing first touch published while we waited
+	}
+	v = make([]float64, len(m.lambda))
 	for i := range m.lambda {
 		v[i] = m.tiltedLambda(i, beta)
 	}

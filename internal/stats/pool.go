@@ -1,0 +1,39 @@
+package stats
+
+import "sync"
+
+// CountsPool recycles the multiplicity scratch vectors of counting-quantile
+// callers (one Borrow/Release per bootstrap resample on the estimator's hot
+// path, so the steady state allocates nothing). The zero value is ready to
+// use; a pool may be shared by concurrent workers.
+//
+// Borrow hands out a boxed slice — the repository's pooling idiom (see
+// population.Model.borrowVec) — so the box itself round-trips through the
+// pool and neither direction allocates once warm.
+type CountsPool struct {
+	pool sync.Pool
+}
+
+// Borrow hands out a zeroed multiplicity vector of length n inside its pool
+// box. Pass the same box back to Release when done.
+func (p *CountsPool) Borrow(n int) *[]int32 {
+	if b, ok := p.pool.Get().(*[]int32); ok {
+		if cap(*b) < n {
+			*b = make([]int32, n)
+		}
+		s := (*b)[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		*b = s
+		return b
+	}
+	b := make([]int32, n)
+	return &b
+}
+
+// Release returns a borrowed box to the pool. The caller must not use the
+// box or its slice afterwards.
+func (p *CountsPool) Release(b *[]int32) {
+	p.pool.Put(b)
+}

@@ -37,26 +37,28 @@ import (
 
 // World is a calibrated synthetic Facebook with a research panel.
 type World struct {
-	model       *population.Model
-	audience    *audience.Engine
-	panel       *fdvt.Panel
-	root        *rng.Rand
-	parallelism int
+	model           *population.Model
+	audience        *audience.Engine
+	panel           *fdvt.Panel
+	root            *rng.Rand
+	parallelism     int
+	columnKernelOff bool
 }
 
 type config struct {
-	seed          uint64
-	catalogSize   int
-	population    int64
-	activitySigma float64
-	gridSize      int
-	panelSize     int
-	profileMedian float64
-	parallelism   int
-	cacheOff      bool
-	cacheCapacity int
-	cacheMode     audience.Mode
-	rowKernelOff  bool
+	seed            uint64
+	catalogSize     int
+	population      int64
+	activitySigma   float64
+	gridSize        int
+	panelSize       int
+	profileMedian   float64
+	parallelism     int
+	cacheOff        bool
+	cacheCapacity   int
+	cacheMode       audience.Mode
+	rowKernelOff    bool
+	columnKernelOff bool
 }
 
 // Option customizes world construction.
@@ -122,6 +124,17 @@ func WithAudienceCacheMode(m audience.Mode) Option {
 // (ActivityGrid × 8 bytes per touched interest) change.
 func WithRowKernel(on bool) Option { return func(c *config) { c.rowKernelOff = !on } }
 
+// WithColumnKernel toggles the estimator's presorted columnar bootstrap
+// kernel (default on). The kernel presorts each combination size's panel
+// column once and turns every bootstrap resample's quantile into a
+// sort-free counting walk (internal/core/columns.go), so a 10k-iteration
+// EstimateNP never sorts. Results are bit-identical either way under a
+// fixed seed — the kernel selects the exact order statistics the naive
+// sort would have and applies the same interpolation arithmetic (gated in
+// determinism_test.go); only wall time and the column-index memory
+// (12 bytes per collected sample) change.
+func WithColumnKernel(on bool) Option { return func(c *config) { c.columnKernelOff = !on } }
+
 // WithParallelism sets the worker count used by every study and experiment
 // the world runs (default 0 = runtime.GOMAXPROCS(0), i.e. one worker per
 // core; 1 = sequential execution on the caller's goroutine). Results are
@@ -185,7 +198,14 @@ func NewWorld(opts ...Option) (*World, error) {
 		Mode:     cfg.cacheMode,
 		Disabled: cfg.cacheOff,
 	})
-	return &World{model: model, audience: aud, panel: panel, root: root, parallelism: cfg.parallelism}, nil
+	return &World{
+		model:           model,
+		audience:        aud,
+		panel:           panel,
+		root:            root,
+		parallelism:     cfg.parallelism,
+		columnKernelOff: cfg.columnKernelOff,
+	}, nil
 }
 
 // Parallelism returns the world's worker count knob (0 = one per core).
@@ -435,13 +455,14 @@ func (w *World) EstimateUniqueness(opts UniquenessOptions) (*UniquenessStudy, er
 		}
 	}
 	cfg := core.StudyConfig{
-		Ps:             opts.Ps,
-		Selectors:      selectors,
-		MaxN:           core.MaxCombinationInterests,
-		BootstrapIters: opts.BootstrapIters,
-		CILevel:        0.95,
-		Rand:           w.root.Derive("uniqueness"),
-		Parallelism:    w.workers(opts.Parallelism),
+		Ps:                  opts.Ps,
+		Selectors:           selectors,
+		MaxN:                core.MaxCombinationInterests,
+		BootstrapIters:      opts.BootstrapIters,
+		CILevel:             0.95,
+		Rand:                w.root.Derive("uniqueness"),
+		Parallelism:         w.workers(opts.Parallelism),
+		DisableColumnKernel: w.columnKernelOff,
 	}
 	res, err := core.RunStudy(w.panel.Users, core.NewEngineSource(w.audience), cfg)
 	if err != nil {
@@ -497,9 +518,15 @@ func (w *World) GroupUniqueness(g Grouping, p float64, bootstrapIters int) ([]Gr
 	if bootstrapIters <= 0 {
 		bootstrapIters = 500
 	}
-	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewEngineSource(w.audience),
-		groups, []core.Selector{core.LeastPopular{}, core.Random{}}, p,
-		bootstrapIters, w.root.Derive("groups"), w.parallelism)
+	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewEngineSource(w.audience), core.GroupConfig{
+		Groups:              groups,
+		Selectors:           []core.Selector{core.LeastPopular{}, core.Random{}},
+		P:                   p,
+		BootstrapIters:      bootstrapIters,
+		Rand:                w.root.Derive("groups"),
+		Parallelism:         w.parallelism,
+		DisableColumnKernel: w.columnKernelOff,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -567,10 +594,13 @@ func (w *World) EstimateDemographicBoost(opts DemographicKnowledgeOptions) (Demo
 		w.panel.Users,
 		core.NewEngineSource(w.audience),
 		know.Fn(),
-		opts.P,
-		opts.BootstrapIters,
-		w.root.Derive("demoboost"),
-		w.parallelism,
+		core.DemoStudyConfig{
+			P:                   opts.P,
+			BootstrapIters:      opts.BootstrapIters,
+			Seed:                w.root.Derive("demoboost"),
+			Parallelism:         w.parallelism,
+			DisableColumnKernel: w.columnKernelOff,
+		},
 	)
 	if err != nil {
 		return DemographicBoost{}, err
@@ -581,6 +611,73 @@ func (w *World) EstimateDemographicBoost(opts DemographicKnowledgeOptions) (Demo
 		WithDemographics: study.WithDemographics.NP,
 		Saved:            study.Saved(),
 	}, nil
+}
+
+// FloorUniqueness is one row of the floor-countermeasure estimator replay:
+// the §4 random-interest uniqueness estimate with the platform's
+// Potential-Reach floor raised to a countermeasure limit.
+type FloorUniqueness struct {
+	// Floor is the minimum Potential Reach the platform reports.
+	Floor int64
+	// Estimate is N_P under that floor (Strategy "R").
+	Estimate UniquenessEstimate
+}
+
+// UniquenessUnderFloors replays the §4 estimator under each reach-floor
+// countermeasure (§8.3 discusses 20 in the 2017 dataset, 100 with the
+// workaround, 1000 today): every floor re-collects the random-selection
+// samples with the raised floor and re-runs the full bootstrap estimator —
+// the policy-evaluation workload whose cost the columnar bootstrap kernel
+// amortizes. p defaults to 0.9 and bootstrapIters to 500 when non-positive.
+// Results are deterministic per (world seed, floor).
+func (w *World) UniquenessUnderFloors(floors []int64, p float64, bootstrapIters int) ([]FloorUniqueness, error) {
+	if len(floors) == 0 {
+		floors = []int64{20, 100, 1000}
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.9
+	}
+	if bootstrapIters <= 0 {
+		bootstrapIters = 500
+	}
+	out := make([]FloorUniqueness, 0, len(floors))
+	for _, floor := range floors {
+		if floor <= 0 {
+			return nil, fmt.Errorf("nanotarget: reach floor %d must be positive", floor)
+		}
+		src := core.NewEngineSource(w.audience)
+		src.MinReach = floor
+		seed := w.root.Derive(fmt.Sprintf("floorpolicy/%d", floor))
+		samples, err := core.Collect(w.panel.Users, core.Random{}, src, core.CollectConfig{
+			Seed:                seed.Derive("collect"),
+			Parallelism:         w.parallelism,
+			DisableColumnKernel: w.columnKernelOff,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nanotarget: floor %d collection: %w", floor, err)
+		}
+		est, err := core.EstimateNP(samples, p, core.EstimateConfig{
+			BootstrapIters: bootstrapIters,
+			CILevel:        0.95,
+			Rand:           seed.Derive("boot"),
+			Parallelism:    w.parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nanotarget: floor %d estimate: %w", floor, err)
+		}
+		out = append(out, FloorUniqueness{
+			Floor: floor,
+			Estimate: UniquenessEstimate{
+				Strategy: est.Strategy,
+				P:        est.P,
+				NP:       est.NP,
+				CILo:     est.CI.Lo,
+				CIHi:     est.CI.Hi,
+				R2:       est.R2,
+			},
+		})
+	}
+	return out, nil
 }
 
 // WriteTable1 renders the study in the paper's Table 1 layout.
