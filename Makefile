@@ -9,7 +9,7 @@ GO ?= go
 # Never lower it to make a PR pass — add tests instead.
 COVERAGE_FLOOR ?= 74.5
 
-.PHONY: all build test bench bench-smoke bench-audience bench-uniqueness cover fuzz-smoke lint fmt clean
+.PHONY: all build test bench bench-smoke bench-audience bench-uniqueness bench-serving cover fuzz-smoke lint fmt clean
 
 all: lint build test
 
@@ -24,7 +24,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Figure1$$|Figure3$$|Table1$$|AblationParallelism|Audience|UniquenessEstimate|BootstrapResample' -benchtime 1x -benchmem . ./internal/core
+	$(GO) test -run '^$$' -bench 'Figure1$$|Figure3$$|Table1$$|AblationParallelism|Audience|UniquenessEstimate|BootstrapResample|ServingLoad' -benchtime 1x -benchmem . ./internal/core
 
 # Audience-engine benchmarks (the BENCH_audience.json baseline).
 bench-audience:
@@ -36,6 +36,15 @@ bench-audience:
 bench-uniqueness:
 	$(GO) test -run '^$$' -bench 'UniquenessEstimate' -benchtime 10x -benchmem .
 	$(GO) test -run '^$$' -bench 'BootstrapResample|ColumnIndexBuild' -benchtime 200x -benchmem ./internal/core
+
+# Serving-tier load baseline (the BENCH_serving.json baseline): the
+# cmd/fbadsload permuted-probe sweep — 400 advertiser accounts x 10 permuted
+# re-probes — replayed against the in-process serving stack at shards 1 and
+# 4. The recorded throughput ratio is host-dependent (scatter-gather only
+# wins with cores to scatter across); CI gates the fields being present,
+# not the ratio's value.
+bench-serving:
+	$(GO) run ./cmd/fbadsload -catalog 20000 -population 100000000 -accounts 400 -probes 10 -interests 18 -concurrency 8 -sweep 1,4 -json BENCH_serving.json
 
 # Total-coverage gate: fails when coverage drops below COVERAGE_FLOOR.
 cover:

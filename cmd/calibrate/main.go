@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"nanotarget/internal/cliflags"
 	"nanotarget/internal/core"
 	"nanotarget/internal/fdvt"
 	"nanotarget/internal/interest"
@@ -27,16 +28,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
+		cliflags.Without(cliflags.FlagCache, cliflags.FlagCacheCap, cliflags.FlagCacheMode),
+		cliflags.Usage(cliflags.FlagCatalog, "catalog size"),
+		cliflags.Usage(cliflags.FlagSeed, "master seed"))
 	var (
-		catalogSize = flag.Int("catalog", 98_982, "catalog size")
-		panelSize   = flag.Int("panel", 2390, "panel size")
-		sigmas      = flag.String("sigmas", "1.12", "comma-separated ActivitySigma values to sweep")
-		boot        = flag.Int("boot", 200, "bootstrap iterations per estimate")
-		seed        = flag.Uint64("seed", 1, "master seed")
-		psigma      = flag.Float64("psigma", 1.15, "panel profile-size log-sigma")
-		mixture     = flag.Float64("mixture", 0.05, "panel small-profile mixture weight")
-		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
-		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
+		sigmas  = flag.String("sigmas", "1.12", "comma-separated ActivitySigma values to sweep")
+		boot    = flag.Int("boot", 200, "bootstrap iterations per estimate")
+		psigma  = flag.Float64("psigma", 1.15, "panel profile-size log-sigma")
+		mixture = flag.Float64("mixture", 0.05, "panel small-profile mixture weight")
 	)
 	flag.Parse()
 
@@ -49,9 +49,9 @@ func main() {
 		sigmaVals = append(sigmaVals, v)
 	}
 
-	root := rng.New(*seed)
+	root := rng.New(cfg.Population.Seed)
 	icfg := interest.DefaultConfig()
-	icfg.Size = *catalogSize
+	icfg.Size = cfg.Population.CatalogSize
 	start := time.Now()
 	cat, err := interest.Generate(icfg, root.Derive("catalog"))
 	if err != nil {
@@ -73,7 +73,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fcfg := fdvt.DefaultPanelConfig(model)
-		fcfg.Size = *panelSize
+		fcfg.Size = cfg.Population.PanelSize
 		fcfg.ProfileSigma = *psigma
 		fcfg.RareMixture = *mixture
 		panel, err := fdvt.BuildPanel(fcfg, root.Derive(fmt.Sprintf("panel/%.3f", sigma)))
@@ -85,8 +85,8 @@ func main() {
 
 		scfg := core.DefaultStudyConfig(root.Derive(fmt.Sprintf("study/%.3f", sigma)))
 		scfg.BootstrapIters = *boot
-		scfg.Parallelism = *workers
-		scfg.DisableColumnKernel = !*colKernel
+		scfg.Parallelism = cfg.Parallelism
+		scfg.DisableColumnKernel = cfg.Kernels.DisableColumnKernel
 		start = time.Now()
 		res, err := core.RunStudy(panel.Users, core.NewModelSource(model), scfg)
 		if err != nil {

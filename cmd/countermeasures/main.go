@@ -17,44 +17,30 @@ import (
 	"time"
 
 	"nanotarget"
-	"nanotarget/internal/audience"
+	"nanotarget/internal/cliflags"
 	"nanotarget/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("countermeasures: ")
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
+		cliflags.Without(cliflags.FlagCacheCap),
+		cliflags.Defaults(func(c *nanotarget.WorldConfig) { c.Population.PanelSize = 600 }),
+		cliflags.Usage(cliflags.FlagPanel, "panel size (victims come from here)"),
+		cliflags.Usage(cliflags.FlagWorkers, "worker goroutines for attack replay (0 = one per core, 1 = sequential)"))
 	var (
-		catalogSize = flag.Int("catalog", 98_982, "interest catalog size")
-		panelSize   = flag.Int("panel", 600, "panel size (victims come from here)")
-		victims     = flag.Int("victims", 100, "number of victims")
-		interests   = flag.Int("interests", 20, "attacker's interest budget")
-		trials      = flag.Int("trials", 5, "attacks per victim")
-		seed        = flag.Uint64("seed", 1, "world seed")
-		sweep       = flag.Bool("sweep", false, "sweep the max-interests cap from 5 to 25")
-		uniq        = flag.Bool("uniqueness", false, "replay the §4 uniqueness estimator under each reach-floor countermeasure (20, 100, 1000)")
-		boot        = flag.Int("boot", 500, "bootstrap iterations per floor estimate (with -uniqueness)")
-		workers     = flag.Int("workers", 0, "worker goroutines for attack replay (0 = one per core, 1 = sequential)")
-		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
-		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
-		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
+		victims   = flag.Int("victims", 100, "number of victims")
+		interests = flag.Int("interests", 20, "attacker's interest budget")
+		trials    = flag.Int("trials", 5, "attacks per victim")
+		sweep     = flag.Bool("sweep", false, "sweep the max-interests cap from 5 to 25")
+		uniq      = flag.Bool("uniqueness", false, "replay the §4 uniqueness estimator under each reach-floor countermeasure (20, 100, 1000)")
+		boot      = flag.Int("boot", 500, "bootstrap iterations per floor estimate (with -uniqueness)")
 	)
 	flag.Parse()
 
-	mode, err := audience.ParseMode(*cacheMode)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	w, err := nanotarget.NewWorld(
-		nanotarget.WithSeed(*seed),
-		nanotarget.WithCatalogSize(*catalogSize),
-		nanotarget.WithPanelSize(*panelSize),
-		nanotarget.WithParallelism(*workers),
-		nanotarget.WithAudienceCache(*cache),
-		nanotarget.WithAudienceCacheMode(mode),
-		nanotarget.WithColumnKernel(*colKernel),
-	)
+	w, err := nanotarget.NewWorldFromConfig(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,14 @@
 //
 // Eras select platform rules: 2017 (reach floor 20, no worldwide), 2020
 // (floor 1000, worldwide allowed) or workaround (floor 100, per [18]).
+//
+// -shards N splits the population by user-ID range across N in-process
+// backend shards (each with its own audience engine and row-kernel state)
+// and serves reach by scatter-gather — byte-identical to the single-world
+// server at N=1, within 1e-12 relative at N>1 (internal/serving).
+// -admit-rate puts per-ad-account admission control (HTTP 429 with
+// Retry-After) in front of the API, throttling the multi-account probe
+// floods cmd/fbadsload replays.
 package main
 
 import (
@@ -18,34 +26,28 @@ import (
 	"time"
 
 	"nanotarget/internal/adsapi"
-	"nanotarget/internal/audience"
-	"nanotarget/internal/interest"
-	"nanotarget/internal/population"
-	"nanotarget/internal/rng"
+	"nanotarget/internal/cliflags"
+	"nanotarget/internal/serving"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("fbadsd: ")
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
+		cliflags.Without(cliflags.FlagPanel, cliflags.FlagWorkers, cliflags.FlagColumnKernel),
+		cliflags.With(cliflags.FlagPopulation),
+		cliflags.Usage(cliflags.FlagCache, "enable the reach-estimate audience cache (false = recompute every query; results are identical)"))
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		catalogSize = flag.Int("catalog", 98_982, "interest catalog size")
-		pop         = flag.Int64("population", 1_500_000_000, "modeled user base")
-		era         = flag.String("era", "2017", "platform era: 2017, 2020 or workaround")
-		tokens      = flag.String("tokens", "", "comma-separated access tokens (empty = no auth)")
-		rate        = flag.Float64("rate", 0, "per-token rate limit in requests/second (0 = unlimited)")
-		seed        = flag.Uint64("seed", 1, "world seed")
-		cache       = flag.Bool("cache", true, "enable the reach-estimate audience cache (false = recompute every query; results are identical)")
-		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
-		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
-		prewarm     = flag.Bool("prewarm-rows", false, "materialize the full inclusion-row table at startup (catalog x grid x 8 bytes of memory; zero first-touch latency on cold estimates)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		era        = flag.String("era", "2017", "platform era: 2017, 2020 or workaround")
+		tokens     = flag.String("tokens", "", "comma-separated access tokens (empty = no auth)")
+		rate       = flag.Float64("rate", 0, "per-token rate limit in requests/second (0 = unlimited)")
+		prewarm    = flag.Bool("prewarm-rows", false, "materialize the full inclusion-row table at startup (catalog x grid x 8 bytes of memory per shard; zero first-touch latency on cold estimates)")
+		shards     = flag.Int("shards", 1, "backend shards: split the population by user-ID range and serve reach by scatter-gather (1 = single-world backend)")
+		admitRate  = flag.Float64("admit-rate", 0, "per-ad-account admission limit in requests/second, enforced with 429 + Retry-After in front of the API (0 = no admission control)")
+		admitBurst = flag.Float64("admit-burst", 0, "admission token-bucket capacity (0 = 2x admit-rate)")
 	)
 	flag.Parse()
-
-	mode, err := audience.ParseMode(*cacheMode)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	var eraCfg adsapi.Era
 	switch *era {
@@ -60,16 +62,15 @@ func main() {
 	}
 
 	start := time.Now()
-	icfg := interest.DefaultConfig()
-	icfg.Size = *catalogSize
-	icfg.Population = *pop
-	cat, err := interest.Generate(icfg, rng.New(*seed).Derive("catalog"))
-	if err != nil {
-		log.Fatal(err)
+	var (
+		backend serving.ReachBackend
+		err     error
+	)
+	if *shards > 1 {
+		backend, err = serving.NewShardedBackend(*cfg, *shards)
+	} else {
+		backend, err = serving.NewLocalBackendFromConfig(*cfg)
 	}
-	pcfg := population.DefaultConfig(cat)
-	pcfg.Population = *pop
-	model, err := population.NewModel(pcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,10 +78,8 @@ func main() {
 	if *tokens != "" {
 		tokenList = strings.Split(*tokens, ",")
 	}
-	aud := audience.New(model, audience.Options{Capacity: *cacheCap, Mode: mode, Disabled: !*cache})
 	srv, err := adsapi.NewServer(adsapi.ServerConfig{
-		Model:       model,
-		Audience:    aud,
+		Backend:     backend,
 		Era:         eraCfg,
 		Tokens:      tokenList,
 		RateLimit:   *rate,
@@ -89,10 +88,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("world ready in %v: %d interests, %d users, era %s, floor %d",
-		time.Since(start).Round(time.Millisecond), cat.Len(), *pop, eraCfg.Name, eraCfg.MinReach)
+	handler := http.Handler(srv)
+	if *admitRate > 0 {
+		handler = serving.NewAdmission(serving.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst}, srv)
+	}
+	log.Printf("world ready in %v: %d interests, %d users, %d shard(s), era %s, floor %d",
+		time.Since(start).Round(time.Millisecond), backend.Catalog().Len(), backend.Population(),
+		*shards, eraCfg.Name, eraCfg.MinReach)
 	log.Printf("listening on %s", *addr)
 	fmt.Printf("try: curl '%s/v9.0/act_1/reachestimate?targeting_spec=%s'\n",
 		"http://localhost"+*addr, `{"geo_locations":{"countries":["ES"]}}`)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

@@ -11,41 +11,31 @@ import (
 	"time"
 
 	"nanotarget"
-	"nanotarget/internal/audience"
+	"nanotarget/internal/cliflags"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fdvtrisk: ")
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
+		cliflags.Without(cliflags.FlagCacheCap, cliflags.FlagColumnKernel),
+		cliflags.Defaults(func(c *nanotarget.WorldConfig) {
+			c.Population.CatalogSize = 30_000
+			c.Population.PanelSize = 200
+			c.Population.ProfileMedian = 200
+		}),
+		cliflags.Usage(cliflags.FlagWorkers, "worker goroutines for the panel scan (0 = one per core, 1 = sequential)"))
 	var (
-		catalogSize = flag.Int("catalog", 30_000, "interest catalog size")
-		panelSize   = flag.Int("panel", 200, "panel size")
-		user        = flag.Int("user", 0, "panel index of the inspected user")
-		level       = flag.String("remove", "orange", "severity to remove: red, orange or yellow (empty = only show)")
-		seed        = flag.Uint64("seed", 1, "world seed")
-		show        = flag.Int("show", 15, "rows of the risk table to display")
-		scan        = flag.Bool("scan", false, "also risk-scan the whole panel and print the operator summary")
-		workers     = flag.Int("workers", 0, "worker goroutines for the panel scan (0 = one per core, 1 = sequential)")
-		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
-		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
-		slice       = flag.Bool("slice", false, "with -scan: also score each user inside their own demographic slice (the \u00a79 attacker view)")
+		user  = flag.Int("user", 0, "panel index of the inspected user")
+		level = flag.String("remove", "orange", "severity to remove: red, orange or yellow (empty = only show)")
+		show  = flag.Int("show", 15, "rows of the risk table to display")
+		scan  = flag.Bool("scan", false, "also risk-scan the whole panel and print the operator summary")
+		slice = flag.Bool("slice", false, "with -scan: also score each user inside their own demographic slice (the \u00a79 attacker view)")
 	)
 	flag.Parse()
 
-	mode, err := audience.ParseMode(*cacheMode)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	w, err := nanotarget.NewWorld(
-		nanotarget.WithSeed(*seed),
-		nanotarget.WithCatalogSize(*catalogSize),
-		nanotarget.WithPanelSize(*panelSize),
-		nanotarget.WithProfileMedian(200),
-		nanotarget.WithParallelism(*workers),
-		nanotarget.WithAudienceCache(*cache),
-		nanotarget.WithAudienceCacheMode(mode),
-	)
+	w, err := nanotarget.NewWorldFromConfig(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

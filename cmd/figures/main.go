@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"nanotarget"
+	"nanotarget/internal/cliflags"
 	"nanotarget/internal/geo"
 	"nanotarget/internal/report"
 	"nanotarget/internal/stats"
@@ -29,16 +30,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
+		cliflags.Without(cliflags.FlagCache, cliflags.FlagCacheCap, cliflags.FlagCacheMode))
 	var (
-		fig         = flag.Int("fig", 0, "figure number: 1, 2, 8, 9 or 10 (0 = all)")
-		table       = flag.Int("table", 0, "table number: 3 or 4 (0 = none unless -fig 0)")
-		catalogSize = flag.Int("catalog", 98_982, "interest catalog size")
-		panelSize   = flag.Int("panel", 2390, "panel size")
-		boot        = flag.Int("boot", 300, "bootstrap iterations for Figs 8-10")
-		seed        = flag.Uint64("seed", 1, "world seed")
-		out         = flag.String("out", "", "directory for CSV output (optional)")
-		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
-		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
+		fig   = flag.Int("fig", 0, "figure number: 1, 2, 8, 9 or 10 (0 = all)")
+		table = flag.Int("table", 0, "table number: 3 or 4 (0 = none unless -fig 0)")
+		boot  = flag.Int("boot", 300, "bootstrap iterations for Figs 8-10")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
 	)
 	flag.Parse()
 
@@ -57,13 +55,7 @@ func main() {
 	}
 
 	start := time.Now()
-	w, err := nanotarget.NewWorld(
-		nanotarget.WithSeed(*seed),
-		nanotarget.WithCatalogSize(*catalogSize),
-		nanotarget.WithPanelSize(*panelSize),
-		nanotarget.WithParallelism(*workers),
-		nanotarget.WithColumnKernel(*colKernel),
-	)
+	w, err := nanotarget.NewWorldFromConfig(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,13 +87,14 @@ func main() {
 		for _, u := range w.PanelUsers() {
 			sizes = append(sizes, float64(len(u.Interests)))
 		}
-		s, _ := stats.Summarize(sizes)
-		fmt.Printf("\nFig 1 — interests per panel user: min %.0f, median %.0f, max %.0f (paper: 1 / 426 / 8,950)\n",
-			s.Min, s.P50, s.Max)
+		// One counting-compressed column serves the headline quantiles and
+		// the plotted CDF (stats.CountingQuantileSorted under InverseAt).
 		ecdf, err := stats.NewECDF(sizes)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("\nFig 1 — interests per panel user: min %.0f, median %.0f, max %.0f (paper: 1 / 426 / 8,950)\n",
+			ecdf.Min(), ecdf.InverseAt(0.5), ecdf.Max())
 		pts := ecdf.Points(100)
 		xs := make([]float64, len(pts))
 		ys := make([]float64, len(pts))
@@ -117,13 +110,12 @@ func main() {
 		for _, info := range w.SearchInterests("", w.CatalogSize()) {
 			sizes = append(sizes, float64(info.AudienceSize))
 		}
-		qs, _ := stats.Quantiles(sizes, []float64{0.25, 0.5, 0.75})
-		fmt.Printf("\nFig 2 — interest audience sizes: q25 %.0f, median %.0f, q75 %.0f (paper: 113,193 / 418,530 / 1,719,925)\n",
-			qs[0], qs[1], qs[2])
 		ecdf, err := stats.NewECDF(sizes)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("\nFig 2 — interest audience sizes: q25 %.0f, median %.0f, q75 %.0f (paper: 113,193 / 418,530 / 1,719,925)\n",
+			ecdf.InverseAt(0.25), ecdf.InverseAt(0.5), ecdf.InverseAt(0.75))
 		pts := ecdf.Points(200)
 		xs := make([]float64, len(pts))
 		ys := make([]float64, len(pts))

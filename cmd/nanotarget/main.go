@@ -16,39 +16,24 @@ import (
 	"time"
 
 	"nanotarget"
-	"nanotarget/internal/audience"
+	"nanotarget/internal/cliflags"
 	"nanotarget/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nanotarget: ")
-	var (
-		catalogSize = flag.Int("catalog", 98_982, "interest catalog size")
-		panelSize   = flag.Int("panel", 2390, "panel size")
-		pop         = flag.Int64("population", 2_800_000_000, "worldwide user base (the 2020 experiment era)")
-		seed        = flag.Uint64("seed", 1, "world seed")
-		runs        = flag.Int("runs", 1, "number of experiment repetitions")
-		workers     = flag.Int("workers", 0, "worker goroutines for campaign fan-out (0 = one per core, 1 = sequential)")
-		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
-		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
-	)
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
+		cliflags.Without(cliflags.FlagCacheCap, cliflags.FlagColumnKernel),
+		cliflags.With(cliflags.FlagPopulation),
+		cliflags.Defaults(func(c *nanotarget.WorldConfig) { c.Population.Population = 2_800_000_000 }),
+		cliflags.Usage(cliflags.FlagPopulation, "worldwide user base (the 2020 experiment era)"),
+		cliflags.Usage(cliflags.FlagWorkers, "worker goroutines for campaign fan-out (0 = one per core, 1 = sequential)"))
+	runs := flag.Int("runs", 1, "number of experiment repetitions")
 	flag.Parse()
 
-	mode, err := audience.ParseMode(*cacheMode)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	w, err := nanotarget.NewWorld(
-		nanotarget.WithSeed(*seed),
-		nanotarget.WithCatalogSize(*catalogSize),
-		nanotarget.WithPanelSize(*panelSize),
-		nanotarget.WithPopulation(*pop),
-		nanotarget.WithParallelism(*workers),
-		nanotarget.WithAudienceCache(*cache),
-		nanotarget.WithAudienceCacheMode(mode),
-	)
+	w, err := nanotarget.NewWorldFromConfig(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,44 +18,24 @@ import (
 	"time"
 
 	"nanotarget"
-	"nanotarget/internal/audience"
+	"nanotarget/internal/cliflags"
 	"nanotarget/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("uniqueness: ")
+	cfg := cliflags.RegisterWorldFlags(flag.CommandLine)
 	var (
-		catalogSize = flag.Int("catalog", 98_982, "interest catalog size")
-		panelSize   = flag.Int("panel", 2390, "panel size")
-		boot        = flag.Int("boot", 1000, "bootstrap iterations (paper: 10000)")
-		seed        = flag.Uint64("seed", 1, "world seed")
-		out         = flag.String("out", "", "directory for figure CSVs (optional)")
-		plot        = flag.Bool("plot", true, "render ASCII plots of the VAS curves")
-		demo        = flag.Bool("demo", false, "also run the §9 future-work study (demographics + interests)")
-		workers     = flag.Int("workers", 0, "worker goroutines for collection and bootstrap (0 = one per core, 1 = sequential)")
-		cache       = flag.Bool("cache", true, "enable the shared audience-query cache (false = uncached legacy path; results are identical)")
-		cacheCap    = flag.Int("cachecap", 0, "audience cache capacity in conjunction prefixes (0 = default)")
-		cacheMode   = flag.String("cache-mode", "exact", "audience cache contract: exact (byte-identical ordered path) or canonical (permutation-invariant set cache; bounded relative error)")
-		colKernel   = flag.Bool("column-kernel", true, "enable the columnar bootstrap kernel (false = naive sort-per-resample path; results are identical)")
+		boot = flag.Int("boot", 1000, "bootstrap iterations (paper: 10000)")
+		out  = flag.String("out", "", "directory for figure CSVs (optional)")
+		plot = flag.Bool("plot", true, "render ASCII plots of the VAS curves")
+		demo = flag.Bool("demo", false, "also run the §9 future-work study (demographics + interests)")
 	)
 	flag.Parse()
 
-	mode, err := audience.ParseMode(*cacheMode)
-	if err != nil {
-		log.Fatal(err)
-	}
 	start := time.Now()
-	w, err := nanotarget.NewWorld(
-		nanotarget.WithSeed(*seed),
-		nanotarget.WithCatalogSize(*catalogSize),
-		nanotarget.WithPanelSize(*panelSize),
-		nanotarget.WithParallelism(*workers),
-		nanotarget.WithAudienceCache(*cache),
-		nanotarget.WithAudienceCacheCapacity(*cacheCap),
-		nanotarget.WithAudienceCacheMode(mode),
-		nanotarget.WithColumnKernel(*colKernel),
-	)
+	w, err := nanotarget.NewWorldFromConfig(*cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,10 +47,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("study completed in %v\n", time.Since(start).Round(time.Millisecond))
-	if st := w.AudienceCacheStats(); *cache {
+	if st := w.AudienceCacheStats(); !cfg.Cache.Disabled {
 		total := st.Total()
 		fmt.Printf("audience cache (%s): %.1f%% hit rate (%d hits, %d misses, %d evictions, %d/%d entries)\n",
-			mode, 100*total.HitRate(), total.Hits, total.Misses, total.Evictions, total.Entries, total.Capacity)
+			cfg.Cache.Mode, 100*total.HitRate(), total.Hits, total.Misses, total.Evictions, total.Entries, total.Capacity)
 		fmt.Printf("  per level: prefix %d/%d set %d/%d demo %d/%d (hits/misses)\n",
 			st.Prefix.Hits, st.Prefix.Misses, st.Set.Hits, st.Set.Misses, st.Demo.Hits, st.Demo.Misses)
 	}

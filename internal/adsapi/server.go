@@ -11,18 +11,29 @@ import (
 
 	"nanotarget/internal/audience"
 	"nanotarget/internal/population"
+	"nanotarget/internal/serving"
 )
 
 // ServerConfig configures the simulated Marketing API server.
 type ServerConfig struct {
-	// Model backs reach computations. Required.
+	// Backend serves every reach computation: catalog lookups, demographic
+	// bases and flexible-spec union shares. Wire a serving.LocalBackend for
+	// the classic single-world server or a serving.ShardedBackend for the
+	// scatter-gather tier (fbadsd -shards N). Exactly one of Backend and
+	// Model must be set.
+	Backend serving.ReachBackend
+	// Model is the legacy single-world configuration: when Backend is nil,
+	// the server wraps Model (and Audience, if given) in a
+	// serving.LocalBackend itself. Behaviour and bytes are identical to
+	// wiring the LocalBackend explicitly.
 	Model *population.Model
-	// Audience optionally supplies the audience engine reach estimates run
-	// through. Nil builds a cached engine over Model (the default: attacker
-	// probe loops re-query overlapping conjunction prefixes constantly, so
-	// hit rates are high). Pass audience.Disabled(model) for the uncached
-	// legacy behaviour; estimates are bit-identical either way in the
-	// engine's exact mode.
+	// Audience optionally supplies the audience engine the legacy Model
+	// path runs reach estimates through. Nil builds a cached engine over
+	// Model (the default: attacker probe loops re-query overlapping
+	// conjunction prefixes constantly, so hit rates are high). Pass
+	// audience.Disabled(model) for the uncached legacy behaviour; estimates
+	// are bit-identical either way in the engine's exact mode. Ignored when
+	// Backend is set.
 	Audience *audience.Engine
 	// CacheMode selects the caching contract of the default engine built
 	// when Audience is nil: audience.ModeExact (default, byte-identical) or
@@ -51,22 +62,23 @@ type ServerConfig struct {
 	NarrowWarningThreshold int64
 	// Now supplies time for rate limiting; defaults to time.Now.
 	Now func() time.Time
-	// PrewarmRows materializes the model's full inclusion-row table at
-	// server construction (population.Model.WarmAllRows), trading startup
-	// time and memory — catalog × grid × 8 bytes, ~80 MiB for a 20k-interest
-	// catalog at the default 512-point grid — for zero first-touch latency
-	// on cold reach estimates. Off by default: rows materialize lazily per
-	// touched interest, which serving workloads amortize within seconds.
+	// PrewarmRows materializes the backend's full inclusion-row tables at
+	// server construction (ReachBackend.WarmRows), trading startup time and
+	// memory — catalog × grid × 8 bytes per shard, ~80 MiB for a
+	// 20k-interest catalog at the default 512-point grid — for zero
+	// first-touch latency on cold reach estimates. Off by default: rows
+	// materialize lazily per touched interest, which serving workloads
+	// amortize within seconds.
 	PrewarmRows bool
 }
 
 // Server implements the API over net/http.
 type Server struct {
-	cfg    ServerConfig
-	era    Era
-	aud    *audience.Engine
-	tokens map[string]bool
-	now    func() time.Time
+	cfg     ServerConfig
+	era     Era
+	backend serving.ReachBackend
+	tokens  map[string]bool
+	now     func() time.Time
 
 	mu        sync.Mutex
 	buckets   map[string]*bucket
@@ -85,8 +97,11 @@ type bucket struct {
 
 // NewServer validates the config and builds the handler.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Model == nil {
-		return nil, errors.New("adsapi: ServerConfig.Model is required")
+	if cfg.Backend == nil && cfg.Model == nil {
+		return nil, errors.New("adsapi: ServerConfig needs a Backend or a Model")
+	}
+	if cfg.Backend != nil && (cfg.Model != nil || cfg.Audience != nil) {
+		return nil, errors.New("adsapi: ServerConfig.Backend excludes Model/Audience — wire the backend's own model")
 	}
 	if cfg.Era.Name == "" {
 		cfg.Era = Era2017
@@ -100,18 +115,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			cfg.RateBurst = 1
 		}
 	}
-	if cfg.Audience == nil {
-		cfg.Audience = audience.New(cfg.Model, audience.Options{Mode: cfg.CacheMode})
-	} else if cfg.Audience.Model() != cfg.Model {
-		return nil, errors.New("adsapi: ServerConfig.Audience is backed by a different model")
+	backend := cfg.Backend
+	if backend == nil {
+		engine := cfg.Audience
+		if engine == nil {
+			engine = audience.New(cfg.Model, audience.Options{Mode: cfg.CacheMode})
+		}
+		local, err := serving.NewLocalBackend(cfg.Model, engine)
+		if err != nil {
+			return nil, errors.New("adsapi: ServerConfig.Audience is backed by a different model")
+		}
+		backend = local
 	}
 	if cfg.PrewarmRows {
-		cfg.Model.WarmAllRows()
+		backend.WarmRows()
 	}
 	s := &Server{
 		cfg:       cfg,
 		era:       cfg.Era,
-		aud:       cfg.Audience,
+		backend:   backend,
 		tokens:    make(map[string]bool, len(cfg.Tokens)),
 		now:       cfg.Now,
 		buckets:   make(map[string]*bucket),
@@ -161,8 +183,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Era returns the platform rules in force.
 func (s *Server) Era() Era { return s.era }
 
-// AudienceStats snapshots the reach cache's hit/miss/eviction counters.
-func (s *Server) AudienceStats() audience.Stats { return s.aud.Stats() }
+// AudienceStats snapshots the reach cache's hit/miss/eviction counters,
+// aggregated across the backend's shards.
+func (s *Server) AudienceStats() audience.Stats { return s.backend.AudienceStats() }
+
+// Backend exposes the reach backend the server estimates through.
+func (s *Server) Backend() serving.ReachBackend { return s.backend }
 
 // DisableAccount makes every subsequent authorized call fail with FB error
 // 368 — reproducing the account closure the authors experienced days after
@@ -271,7 +297,7 @@ func (s *Server) parseSpec(w http.ResponseWriter, raw string) (TargetingSpec, bo
 			Message: "Malformed targeting_spec: " + err.Error()})
 		return spec, false
 	}
-	if err := spec.Validate(s.era, s.cfg.Model.Catalog()); err != nil {
+	if err := spec.Validate(s.era, s.backend.Catalog()); err != nil {
 		var ae *APIError
 		if errors.As(err, &ae) {
 			s.writeError(w, http.StatusBadRequest, ae)
@@ -294,13 +320,12 @@ func (s *Server) estimateReach(spec TargetingSpec) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	m := s.cfg.Model
 	filter := spec.DemoFilter()
-	base := float64(m.Population())*s.aud.DemoShare(filter) - 1
+	base := float64(s.backend.Population())*s.backend.DemoShare(filter) - 1
 	if base < 0 {
 		base = 0
 	}
-	share := s.aud.UnionShare(clauses)
+	share := s.backend.UnionShare(clauses)
 	reach := int64(1 + base*share + 0.5)
 	if reach < s.era.MinReach {
 		reach = s.era.MinReach
@@ -344,7 +369,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 				Message: "Malformed params: " + err.Error()})
 			return
 		}
-		if err := params.Targeting.Validate(s.era, s.cfg.Model.Catalog()); err != nil {
+		if err := params.Targeting.Validate(s.era, s.backend.Catalog()); err != nil {
 			var ae *APIError
 			if errors.As(err, &ae) {
 				s.writeError(w, http.StatusBadRequest, ae)
@@ -411,13 +436,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	cat := s.cfg.Model.Catalog()
+	cat := s.backend.Catalog()
 	var results []SearchResult
 	for _, in := range cat.Search(q.Get("q"), limit) {
 		results = append(results, SearchResult{
 			ID:           FBInterestID(in.ID),
 			Name:         in.Name,
-			AudienceSize: cat.AudienceSize(in.ID, s.cfg.Model.Population()),
+			AudienceSize: cat.AudienceSize(in.ID, s.backend.Population()),
 			Path:         []string{"Interests", in.Category, in.Name},
 			Topic:        in.Category,
 		})

@@ -1,0 +1,258 @@
+// Package loadgen replays the paper's abuse workload against a running
+// fbadsd instance: thousands of simulated advertiser accounts, each holding
+// a fixed random interest set and hammering /reachestimate with permuted
+// re-probes of that set (the §4 collection pattern an attacker distributes
+// across accounts to dodge per-token limits). The runner measures what the
+// serving tier is benchmarked on — p50/p95/p99 latency and sustained
+// throughput — and classifies every response: admitted, admission-throttled
+// (HTTP 429 from internal/serving), platform rate-limited (FB code 17) or
+// errored.
+//
+// The workload is deterministic for a fixed Config: account a's interest
+// set comes from the derived stream "account-<a>" of the master seed, and
+// probe p permutes it under "probe-<p>". Only the interleaving across
+// concurrent workers varies between runs.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"nanotarget/internal/adsapi"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/stats"
+)
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080". The runner
+	// appends the /v9.0/act_<n>/reachestimate paths itself.
+	BaseURL string
+
+	// Accounts is the number of simulated advertiser accounts
+	// (default 1000). Account n probes as act_<n+1>.
+	Accounts int
+
+	// ProbesPerAccount is how many permuted re-probes each account sends
+	// (default 20).
+	ProbesPerAccount int
+
+	// Interests is the size of each account's interest set (default 18,
+	// inside every era's max-interests rule).
+	Interests int
+
+	// CatalogSize bounds the interest IDs accounts may probe; IDs are
+	// drawn uniformly from [1, CatalogSize). It must match the server's
+	// -catalog or probes fail validation.
+	CatalogSize int
+
+	// Concurrency is the number of in-flight requests (0 = one per core).
+	Concurrency int
+
+	// Seed fixes the workload (account interest sets and probe
+	// permutations).
+	Seed uint64
+
+	// AccessToken is sent with every request when non-empty.
+	AccessToken string
+
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+
+	// Client overrides the HTTP client (tests aim it at an httptest
+	// server's transport). Nil uses a fresh client with Timeout.
+	Client *http.Client
+}
+
+// Result aggregates one load run.
+type Result struct {
+	Requests    int           `json:"requests"`
+	OK          int           `json:"ok"`
+	Rejected    int           `json:"rejected"`     // HTTP 429 from admission control
+	RateLimited int           `json:"rate_limited"` // FB error code 17 (per-token limiter)
+	Errors      int           `json:"errors"`
+	Duration    time.Duration `json:"-"`
+	DurationMs  float64       `json:"duration_ms"`
+	Throughput  float64       `json:"throughput_rps"`
+	P50Ms       float64       `json:"p50_ms"`
+	P95Ms       float64       `json:"p95_ms"`
+	P99Ms       float64       `json:"p99_ms"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Accounts <= 0 {
+		c.Accounts = 1000
+	}
+	if c.ProbesPerAccount <= 0 {
+		c.ProbesPerAccount = 20
+	}
+	if c.Interests <= 0 {
+		c.Interests = 18
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Run replays the configured workload and reports latency and throughput.
+// Individual request failures are counted, not fatal; Run errors only on a
+// misconfiguration (no BaseURL, catalog too small) or a canceled context.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return Result{}, errors.New("loadgen: Config.BaseURL is required")
+	}
+	if cfg.CatalogSize <= cfg.Interests {
+		return Result{}, fmt.Errorf("loadgen: catalog size %d cannot cover %d distinct interests per account",
+			cfg.CatalogSize, cfg.Interests)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	sets := accountSets(cfg)
+	urls := probeURLs(cfg, sets)
+
+	n := len(urls)
+	latencies := make([]float64, n)
+	var ok, rejected, rateLimited, failed atomic.Int64
+	start := time.Now()
+	err := parallel.ForEach(ctx, n, parallel.Workers(cfg.Concurrency), func(i int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, urls[i], nil)
+		if err != nil {
+			failed.Add(1)
+			return nil
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		if err != nil {
+			failed.Add(1)
+			return nil
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch classify(resp.StatusCode, body) {
+		case outcomeOK:
+			ok.Add(1)
+		case outcomeRejected:
+			rejected.Add(1)
+		case outcomeRateLimited:
+			rateLimited.Add(1)
+		default:
+			failed.Add(1)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Requests:    n,
+		OK:          int(ok.Load()),
+		Rejected:    int(rejected.Load()),
+		RateLimited: int(rateLimited.Load()),
+		Errors:      int(failed.Load()),
+		Duration:    elapsed,
+		DurationMs:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(n) / elapsed.Seconds()
+	}
+	res.P50Ms, _ = stats.Quantile(latencies, 0.50)
+	res.P95Ms, _ = stats.Quantile(latencies, 0.95)
+	res.P99Ms, _ = stats.Quantile(latencies, 0.99)
+	return res, nil
+}
+
+// accountSets draws each account's fixed interest set: Interests distinct
+// IDs from [1, CatalogSize), chosen by the account's derived stream.
+func accountSets(cfg Config) [][]interest.ID {
+	master := rng.New(cfg.Seed)
+	sets := make([][]interest.ID, cfg.Accounts)
+	for a := range sets {
+		r := master.Derive(fmt.Sprintf("account-%d", a))
+		seen := make(map[interest.ID]bool, cfg.Interests)
+		ids := make([]interest.ID, 0, cfg.Interests)
+		for len(ids) < cfg.Interests {
+			id := interest.ID(1 + r.Intn(cfg.CatalogSize-1))
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sets[a] = ids
+	}
+	return sets
+}
+
+// probeURLs builds every request up front: probe p of account a permutes
+// the account's set under the derived stream "probe-<p>", so re-probes hit
+// the same conjunction in different orders — the workload the canonical
+// audience cache and the admission tier are designed around.
+func probeURLs(cfg Config, sets [][]interest.ID) []string {
+	master := rng.New(cfg.Seed)
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	urls := make([]string, 0, cfg.Accounts*cfg.ProbesPerAccount)
+	geo := adsapi.GeoLocations{Countries: []string{"US"}}
+	for a, set := range sets {
+		accRNG := master.Derive(fmt.Sprintf("account-%d-probes", a))
+		ids := append([]interest.ID(nil), set...)
+		for p := 0; p < cfg.ProbesPerAccount; p++ {
+			r := accRNG.Derive(fmt.Sprintf("probe-%d", p))
+			r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			spec, err := json.Marshal(adsapi.ConjunctionSpec(geo, ids))
+			if err != nil {
+				panic(err) // specs are plain structs; Marshal cannot fail
+			}
+			q := url.Values{"targeting_spec": {string(spec)}}
+			if cfg.AccessToken != "" {
+				q.Set("access_token", cfg.AccessToken)
+			}
+			urls = append(urls, fmt.Sprintf("%s/%s/act_%d/reachestimate?%s",
+				base, adsapi.APIVersion, a+1, q.Encode()))
+		}
+	}
+	return urls
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRejected
+	outcomeRateLimited
+	outcomeError
+)
+
+// classify buckets a response: 200 OK, 429 admission rejection, FB code 17
+// per-token rate limit, anything else an error.
+func classify(status int, body []byte) outcome {
+	switch status {
+	case http.StatusOK:
+		return outcomeOK
+	case http.StatusTooManyRequests:
+		return outcomeRejected
+	}
+	var envelope struct {
+		Error adsapi.APIError `json:"error"`
+	}
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error.Code == 17 {
+		return outcomeRateLimited
+	}
+	return outcomeError
+}

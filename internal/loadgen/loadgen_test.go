@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nanotarget/internal/adsapi"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/serving"
+	"nanotarget/internal/worldcfg"
+)
+
+func testWorld(t *testing.T) worldcfg.Config {
+	t.Helper()
+	cfg := worldcfg.Default()
+	cfg.Population.Seed = 1
+	cfg.Population.CatalogSize = 300
+	cfg.Population.Population = 1_000_000
+	cfg.Population.ActivityGrid = 32
+	return cfg
+}
+
+func testServer(t *testing.T, cfg worldcfg.Config, admit serving.AdmissionConfig) *httptest.Server {
+	t.Helper()
+	backend, err := serving.NewLocalBackendFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := adsapi.NewServer(adsapi.ServerConfig{Backend: backend, Era: adsapi.Era2017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := http.Handler(srv)
+	if admit.Rate > 0 {
+		handler = serving.NewAdmission(admit, srv)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunEndToEnd replays a small permuted-probe workload against a real
+// adsapi stack and checks every request is answered and measured.
+func TestRunEndToEnd(t *testing.T) {
+	cfg := testWorld(t)
+	ts := testServer(t, cfg, serving.AdmissionConfig{})
+	res, err := Run(context.Background(), Config{
+		BaseURL:          ts.URL,
+		Accounts:         6,
+		ProbesPerAccount: 4,
+		Interests:        5,
+		CatalogSize:      cfg.Population.CatalogSize,
+		Concurrency:      4,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 24 {
+		t.Fatalf("Requests = %d, want 24", res.Requests)
+	}
+	if res.OK != 24 || res.Errors != 0 || res.Rejected != 0 || res.RateLimited != 0 {
+		t.Fatalf("unexpected outcome split: %+v", res)
+	}
+	if res.Throughput <= 0 || res.P50Ms <= 0 || res.P95Ms < res.P50Ms || res.P99Ms < res.P95Ms {
+		t.Fatalf("implausible measurements: %+v", res)
+	}
+}
+
+// TestRunCountsAdmissionRejections drives more probes per account than the
+// admission bucket holds; the overflow must be classified as Rejected, not
+// as errors.
+func TestRunCountsAdmissionRejections(t *testing.T) {
+	cfg := testWorld(t)
+	// A nearly frozen refill: each account's bucket holds 2 tokens.
+	ts := testServer(t, cfg, serving.AdmissionConfig{Rate: 0.001, Burst: 2})
+	res, err := Run(context.Background(), Config{
+		BaseURL:          ts.URL,
+		Accounts:         4,
+		ProbesPerAccount: 6,
+		Interests:        5,
+		CatalogSize:      cfg.Population.CatalogSize,
+		Concurrency:      2,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 4*2 {
+		t.Fatalf("OK = %d, want 8 (burst 2 per account)", res.OK)
+	}
+	if res.Rejected != 4*4 {
+		t.Fatalf("Rejected = %d, want 16", res.Rejected)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("Errors = %d: 429s must not count as errors", res.Errors)
+	}
+}
+
+// TestWorkloadDeterminism pins the permuted-probe construction: the same
+// seed yields the same URLs (account sets and permutations), and re-probes
+// of one account are permutations of one fixed set.
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := Config{Accounts: 3, ProbesPerAccount: 4, Interests: 6, CatalogSize: 100, Seed: 5, BaseURL: "http://x"}
+	cfg = cfg.withDefaults()
+	a := probeURLs(cfg, accountSets(cfg))
+	b := probeURLs(cfg, accountSets(cfg))
+	if len(a) != 12 {
+		t.Fatalf("got %d URLs, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workload not deterministic at request %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	sets := accountSets(cfg)
+	for acct, set := range sets {
+		if len(set) != 6 {
+			t.Fatalf("account %d set size %d", acct, len(set))
+		}
+		seen := map[interest.ID]bool{}
+		for _, id := range set {
+			if seen[id] {
+				t.Fatalf("account %d drew duplicate interest %d", acct, id)
+			}
+			seen[id] = true
+		}
+	}
+	same := len(sets[0]) == len(sets[1])
+	for i := 0; same && i < len(sets[0]); i++ {
+		same = sets[0][i] == sets[1][i]
+	}
+	if same {
+		t.Fatal("distinct accounts drew identical interest sets")
+	}
+}

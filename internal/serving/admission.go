@@ -1,0 +1,153 @@
+package serving
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig configures the per-account admission controller that
+// fronts the Marketing API server. It is the serving tier's outer defense
+// against the multi-account probe floods of Faizullabhoy & Korolova —
+// distinct from (and composable with) adsapi's per-token rate limiter,
+// which models the platform's FB-error-17 behaviour: admission rejects with
+// plain HTTP semantics, 429 + Retry-After, before the request reaches the
+// API handler at all.
+type AdmissionConfig struct {
+	// Rate is the sustained requests/second each ad account may submit.
+	// Zero or negative disables admission control (every request passes).
+	Rate float64
+	// Burst is the token-bucket capacity (default 2×Rate, minimum 1).
+	Burst float64
+	// Now supplies time; defaults to time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+// AdmissionStats counts admission decisions.
+type AdmissionStats struct {
+	Admitted int64
+	Rejected int64
+}
+
+// Admission is an http.Handler that applies per-account token buckets in
+// front of an inner handler. Accounts are identified by the act_<id> path
+// segment of Marketing API URLs, falling back to the access token, so both
+// the many-accounts abuse pattern and anonymous probing are throttled.
+type Admission struct {
+	cfg  AdmissionConfig
+	next http.Handler
+
+	mu      sync.Mutex
+	buckets map[string]*admissionBucket
+	stats   AdmissionStats
+}
+
+type admissionBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admissionError is the 429 response body: serving-tier shaped (it is not
+// an adsapi error — the request never reached the API).
+type admissionError struct {
+	Error struct {
+		Message           string  `json:"message"`
+		Type              string  `json:"type"`
+		Code              int     `json:"code"`
+		RetryAfterSeconds float64 `json:"retry_after_seconds"`
+	} `json:"error"`
+}
+
+// NewAdmission wraps next with admission control.
+func NewAdmission(cfg AdmissionConfig, next http.Handler) *Admission {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Admission{cfg: cfg, next: next, buckets: make(map[string]*admissionBucket)}
+}
+
+// AccountKey extracts the throttling key from a request: the first
+// act_<id> path segment if present, otherwise the access token, otherwise
+// a shared anonymous key.
+func AccountKey(r *http.Request) string {
+	for _, seg := range strings.Split(r.URL.Path, "/") {
+		if strings.HasPrefix(seg, "act_") {
+			return seg
+		}
+	}
+	if tok := r.URL.Query().Get("access_token"); tok != "" {
+		return "token:" + tok
+	}
+	return "anonymous"
+}
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ServeHTTP admits or rejects, then delegates.
+func (a *Admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.cfg.Rate <= 0 {
+		a.next.ServeHTTP(w, r)
+		return
+	}
+	key := AccountKey(r)
+	retryAfter, ok := a.admit(key)
+	if !ok {
+		seconds := math.Ceil(retryAfter.Seconds())
+		if seconds < 1 {
+			seconds = 1
+		}
+		var body admissionError
+		body.Error.Message = "Too many requests for ad account " + key
+		body.Error.Type = "AdmissionThrottled"
+		body.Error.Code = http.StatusTooManyRequests
+		body.Error.RetryAfterSeconds = retryAfter.Seconds()
+		buf, _ := json.Marshal(body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", strconv.Itoa(int(seconds)))
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write(buf)
+		return
+	}
+	a.next.ServeHTTP(w, r)
+}
+
+// admit charges one token from key's bucket. When the bucket is empty it
+// reports how long until the next token accrues.
+func (a *Admission) admit(key string) (retryAfter time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.Now()
+	b, exists := a.buckets[key]
+	if !exists {
+		b = &admissionBucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.cfg.Rate
+	if b.tokens > a.cfg.Burst {
+		b.tokens = a.cfg.Burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		a.stats.Rejected++
+		wait := (1 - b.tokens) / a.cfg.Rate
+		return time.Duration(wait * float64(time.Second)), false
+	}
+	b.tokens--
+	a.stats.Admitted++
+	return 0, true
+}

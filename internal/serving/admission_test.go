@@ -1,0 +1,186 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// okHandler counts the requests that made it past admission.
+type okHandler struct{ served atomic.Int64 }
+
+func (h *okHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.served.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+func TestAdmissionDisabledPassesThrough(t *testing.T) {
+	inner := &okHandler{}
+	a := NewAdmission(AdmissionConfig{}, inner)
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, httptest.NewRequest("GET", "/v9.0/act_1/reachestimate", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d with admission disabled", i, rec.Code)
+		}
+	}
+	if inner.served.Load() != 10 {
+		t.Fatalf("inner handler served %d of 10", inner.served.Load())
+	}
+}
+
+func TestAccountKey(t *testing.T) {
+	cases := []struct{ url, want string }{
+		{"/v9.0/act_42/reachestimate", "act_42"},
+		{"/v9.0/act_42/campaigns?access_token=s", "act_42"},
+		{"/v9.0/search?access_token=secret", "token:secret"},
+		{"/v9.0/search", "anonymous"},
+	}
+	for _, c := range cases {
+		if got := AccountKey(httptest.NewRequest("GET", c.url, nil)); got != c.want {
+			t.Errorf("AccountKey(%s) = %q, want %q", c.url, got, c.want)
+		}
+	}
+}
+
+// TestAdmissionRejectShape pins the 429 contract: Retry-After header (whole
+// seconds, >= 1), JSON body with type/code/retry_after_seconds, and recovery
+// once the clock advances past the advertised wait.
+func TestAdmissionRejectShape(t *testing.T) {
+	now := time.Unix(1600000000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	inner := &okHandler{}
+	a := NewAdmission(AdmissionConfig{Rate: 0.5, Burst: 2, Now: clock}, inner)
+
+	req := func() *http.Request { return httptest.NewRequest("GET", "/v9.0/act_7/reachestimate", nil) }
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, req())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("burst request %d rejected: %d", i, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req())
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("post-burst request admitted: %d", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", rec.Header().Get("Retry-After"))
+	}
+	var body admissionError
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v", err)
+	}
+	if body.Error.Type != "AdmissionThrottled" || body.Error.Code != http.StatusTooManyRequests {
+		t.Fatalf("429 body = %+v", body.Error)
+	}
+	if body.Error.RetryAfterSeconds <= 0 || body.Error.RetryAfterSeconds > float64(ra) {
+		t.Fatalf("retry_after_seconds %v inconsistent with Retry-After %d", body.Error.RetryAfterSeconds, ra)
+	}
+
+	// Advancing the clock by the advertised wait must admit again.
+	mu.Lock()
+	now = now.Add(time.Duration(ra) * time.Second)
+	mu.Unlock()
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, req())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after Retry-After wait rejected: %d", rec.Code)
+	}
+
+	st := a.Stats()
+	if st.Admitted != 3 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 3 admitted / 1 rejected", st)
+	}
+}
+
+// TestAdmissionConcurrentAccounts is the -race stress test: many goroutines
+// for many distinct ad accounts hammer one Admission handler under a slowly
+// advancing deterministic clock. Per-account token accounting must stay
+// exact — each account gets exactly burst + accrued tokens' worth of
+// admissions — and admitted + rejected must equal the request total.
+func TestAdmissionConcurrentAccounts(t *testing.T) {
+	const (
+		accounts   = 16
+		perAccount = 200
+		rate       = 2.0
+		burst      = 10.0
+	)
+	now := time.Unix(1700000000, 0)
+	var clockMu sync.Mutex
+	// Each admit call (any account) advances time 1ms, so the whole run
+	// spans accounts*perAccount ms of simulated time and one account can
+	// accrue at most rate * that window in refill tokens beyond its burst.
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	inner := &okHandler{}
+	a := NewAdmission(AdmissionConfig{Rate: rate, Burst: burst, Now: clock}, inner)
+
+	var admitted [accounts]atomic.Int64
+	var rejected [accounts]atomic.Int64
+	var wg sync.WaitGroup
+	for acc := 0; acc < accounts; acc++ {
+		for worker := 0; worker < 2; worker++ {
+			wg.Add(1)
+			go func(acc, worker int) {
+				defer wg.Done()
+				url := fmt.Sprintf("/v9.0/act_%d/reachestimate", acc+1)
+				for i := 0; i < perAccount/2; i++ {
+					rec := httptest.NewRecorder()
+					a.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+					switch rec.Code {
+					case http.StatusOK:
+						admitted[acc].Add(1)
+					case http.StatusTooManyRequests:
+						rejected[acc].Add(1)
+						io.Copy(io.Discard, rec.Body)
+					default:
+						t.Errorf("account %d: unexpected status %d", acc, rec.Code)
+					}
+				}
+			}(acc, worker)
+		}
+	}
+	wg.Wait()
+
+	var totalAdmitted, totalRejected int64
+	for acc := 0; acc < accounts; acc++ {
+		adm, rej := admitted[acc].Load(), rejected[acc].Load()
+		if adm+rej != perAccount {
+			t.Fatalf("account %d: %d admitted + %d rejected != %d requests", acc, adm, rej, perAccount)
+		}
+		// Burst tokens up front plus at most the refill the simulated
+		// window can accrue (see the clock comment).
+		maxAdmitted := burst + rate*float64(accounts*perAccount)/1000 + 1
+		if float64(adm) < burst || float64(adm) > maxAdmitted {
+			t.Fatalf("account %d: %d admitted, want within [%v, %v]", acc, adm, burst, maxAdmitted)
+		}
+		totalAdmitted += adm
+		totalRejected += rej
+	}
+	st := a.Stats()
+	if st.Admitted != totalAdmitted || st.Rejected != totalRejected {
+		t.Fatalf("handler stats %+v disagree with observed %d/%d", st, totalAdmitted, totalRejected)
+	}
+	if inner.served.Load() != totalAdmitted {
+		t.Fatalf("inner handler served %d, admission admitted %d", inner.served.Load(), totalAdmitted)
+	}
+}

@@ -135,40 +135,52 @@ type Summary struct {
 	P90, P95, P99 float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. The quantile fields are served from
+// one counting-compressed column (NewECDF + CountingQuantileSorted), which
+// is bit-identical to sorting the sample and calling QuantileSorted.
 func Summarize(xs []float64) (Summary, error) {
-	if len(xs) == 0 {
-		return Summary{}, ErrEmpty
+	e, err := NewECDF(xs)
+	if err != nil {
+		return Summary{}, err
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	mean, _ := Mean(xs)
 	sd := 0.0
 	if len(xs) > 1 {
 		sd, _ = StdDev(xs)
 	}
 	return Summary{
-		N:      len(xs),
-		Min:    sorted[0],
-		Max:    sorted[len(sorted)-1],
+		N:      e.Len(),
+		Min:    e.Min(),
+		Max:    e.Max(),
 		Mean:   mean,
 		StdDev: sd,
-		P25:    QuantileSorted(sorted, 0.25),
-		P50:    QuantileSorted(sorted, 0.50),
-		P75:    QuantileSorted(sorted, 0.75),
-		P90:    QuantileSorted(sorted, 0.90),
-		P95:    QuantileSorted(sorted, 0.95),
-		P99:    QuantileSorted(sorted, 0.99),
+		P25:    e.InverseAt(0.25),
+		P50:    e.InverseAt(0.50),
+		P75:    e.InverseAt(0.75),
+		P90:    e.InverseAt(0.90),
+		P95:    e.InverseAt(0.95),
+		P99:    e.InverseAt(0.99),
 	}, nil
 }
 
-// ECDF is an empirical cumulative distribution function.
+// ECDF is an empirical cumulative distribution function over a counting
+// (presorted, duplicate-compressed) column: the §4.2 bootstrap index
+// representation, reused here so the figure family rides the same
+// CountingQuantileSorted primitive as the estimator. The sample is stored as
+// its unique values in ascending order with multiplicities — for the heavily
+// tied samples the figures draw (interests-per-user over a 2,390-user panel,
+// audience sizes over the catalog) this is both smaller than the sorted
+// expansion and quantile-queryable without re-expanding.
 type ECDF struct {
-	sorted []float64
+	vals   []float64 // unique observed values, ascending
+	keys   []int32   // identity column keys: keys[i] == int32(i)
+	counts []int32   // multiplicity of vals[i]
+	cum    []int     // cumulative counts: cum[i] = Σ counts[0..i]
+	total  int       // expansion size (the original sample length)
 }
 
-// NewECDF builds an ECDF from xs (copied, then sorted).
+// NewECDF builds an ECDF from xs (copied, sorted, then run-length
+// compressed into a counting column).
 func NewECDF(xs []float64) (*ECDF, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmpty
@@ -176,21 +188,46 @@ func NewECDF(xs []float64) (*ECDF, error) {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	return &ECDF{sorted: s}, nil
+	e := &ECDF{total: len(s)}
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		e.vals = append(e.vals, s[i])
+		e.keys = append(e.keys, int32(len(e.keys)))
+		e.counts = append(e.counts, int32(j-i))
+		e.cum = append(e.cum, j)
+		i = j
+	}
+	return e, nil
 }
 
 // At returns P(X <= x), the fraction of observations at or below x.
 func (e *ECDF) At(x float64) float64 {
-	// First index with sorted[i] > x.
-	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
-	return float64(i) / float64(len(e.sorted))
+	// First unique value > x; its predecessor's cumulative count is the
+	// number of observations <= x.
+	i := sort.SearchFloat64s(e.vals, math.Nextafter(x, math.Inf(1)))
+	if i == 0 {
+		return 0
+	}
+	return float64(e.cum[i-1]) / float64(e.total)
 }
 
-// InverseAt returns the q-th quantile of the sample.
-func (e *ECDF) InverseAt(q float64) float64 { return QuantileSorted(e.sorted, q) }
+// InverseAt returns the q-th quantile of the sample, evaluated by the
+// counting-column walk (bit-identical to QuantileSorted on the expansion).
+func (e *ECDF) InverseAt(q float64) float64 {
+	return CountingQuantileSorted(e.vals, e.keys, e.counts, e.total, q)
+}
 
 // Len returns the number of observations.
-func (e *ECDF) Len() int { return len(e.sorted) }
+func (e *ECDF) Len() int { return e.total }
+
+// Min returns the smallest observation.
+func (e *ECDF) Min() float64 { return e.vals[0] }
+
+// Max returns the largest observation.
+func (e *ECDF) Max() float64 { return e.vals[len(e.vals)-1] }
 
 // Points returns up to n (x, F(x)) pairs suitable for plotting the CDF.
 // If n <= 0 or n >= Len(), one point per observation is returned.
@@ -198,14 +235,20 @@ type Point struct{ X, Y float64 }
 
 // Points samples the ECDF into n plot points.
 func (e *ECDF) Points(n int) []Point {
-	total := len(e.sorted)
+	total := e.total
 	if n <= 0 || n > total {
 		n = total
 	}
 	pts := make([]Point, 0, n)
+	u := 0
 	for i := 0; i < n; i++ {
 		idx := i * (total - 1) / maxInt(n-1, 1)
-		pts = append(pts, Point{X: e.sorted[idx], Y: float64(idx+1) / float64(total)})
+		// The sampled ranks are nondecreasing, so one forward scan maps
+		// each rank to the unique value holding it in the expansion.
+		for e.cum[u] <= idx {
+			u++
+		}
+		pts = append(pts, Point{X: e.vals[u], Y: float64(idx+1) / float64(total)})
 	}
 	return pts
 }

@@ -412,3 +412,91 @@ func BenchmarkBootstrap1k(b *testing.B) {
 		_, _ = Bootstrap(len(data), 1000, rng.New(uint64(i)), stat)
 	}
 }
+
+// TestECDFMatchesSortedExpansion is the differential contract of the
+// counting-compressed ECDF: every query — InverseAt, At, Min/Max, Points —
+// must be byte-identical to the sorted-expansion semantics the type had
+// before it adopted the §4.2 counting-column representation, across samples
+// with heavy ties (the figure workload) and with none.
+func TestECDFMatchesSortedExpansion(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(400)
+		distinct := 1 + r.Intn(20) // heavy ties: few distinct values
+		if trial%3 == 0 {
+			distinct = n // no ties
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(distinct)) * 1.375
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+
+		if e.Len() != n || e.Min() != sorted[0] || e.Max() != sorted[n-1] {
+			t.Fatalf("trial %d: Len/Min/Max mismatch", trial)
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			want := QuantileSorted(sorted, q)
+			if got := e.InverseAt(q); got != want {
+				t.Fatalf("trial %d: InverseAt(%v) = %v, want %v (not byte-identical)", trial, q, got, want)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			x := sorted[r.Intn(n)] + float64(r.Intn(3)-1)*0.6875
+			wantRank := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+			want := float64(wantRank) / float64(n)
+			if got := e.At(x); got != want {
+				t.Fatalf("trial %d: At(%v) = %v, want %v", trial, x, got, want)
+			}
+		}
+		for _, pn := range []int{0, 1, 2, 7, n, n + 5} {
+			got := e.Points(pn)
+			eff := pn
+			if eff <= 0 || eff > n {
+				eff = n
+			}
+			if len(got) != eff {
+				t.Fatalf("trial %d: Points(%d) returned %d points", trial, pn, len(got))
+			}
+			for i, p := range got {
+				idx := i * (n - 1) / maxInt(eff-1, 1)
+				want := Point{X: sorted[idx], Y: float64(idx+1) / float64(n)}
+				if p != want {
+					t.Fatalf("trial %d: Points(%d)[%d] = %+v, want %+v", trial, pn, i, p, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSummarizeMatchesQuantileSorted pins Summarize's counting-backed
+// quantile fields to the direct QuantileSorted computation.
+func TestSummarizeMatchesQuantileSorted(t *testing.T) {
+	r := rng.New(11)
+	xs := make([]float64, 321)
+	for i := range xs {
+		xs[i] = float64(r.Intn(40))
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, c := range []struct {
+		q   float64
+		got float64
+	}{
+		{0.25, s.P25}, {0.50, s.P50}, {0.75, s.P75},
+		{0.90, s.P90}, {0.95, s.P95}, {0.99, s.P99},
+	} {
+		if want := QuantileSorted(sorted, c.q); c.got != want {
+			t.Fatalf("Summarize q=%v: %v, want %v (not byte-identical)", c.q, c.got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package worldcfg holds the grouped world-construction configuration shared
+// by the public facade (nanotarget.WorldConfig is an alias of Config), the
+// cmd flag surface (internal/cliflags) and the serving tier
+// (internal/serving): one struct describes a world, and every layer — a
+// single in-process world, a CLI tool, or N serving shards — builds from it.
+//
+// The package also owns the construction steps whose bit-level behaviour the
+// repo's determinism contract depends on: catalog generation is derived from
+// the master seed via the "catalog" label, and the population model's
+// activity calibration is share-based (internal/population), so two models
+// built from the same Config that differ only in their population count have
+// bit-identical per-interest rates and activity grids. That invariant is
+// what makes the serving tier's range-sharded models exact (see
+// internal/serving).
+package worldcfg
+
+import (
+	"fmt"
+
+	"nanotarget/internal/audience"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// PopulationParams describes the synthetic Facebook the world models: the
+// interest ecosystem, the calibrated user base and the research panel drawn
+// from it.
+type PopulationParams struct {
+	// Seed is the master seed; identical seeds produce bit-identical worlds.
+	Seed uint64
+	// CatalogSize is the number of interests (the paper's dataset: 98,982).
+	CatalogSize int
+	// Population is the modeled user-base size (1.5e9 = the paper's 2017
+	// top-50-country base; the 2020 experiment used 2.8e9).
+	Population int64
+	// ActivitySigma overrides the calibrated activity spread when > 0
+	// (0 keeps population.DefaultConfig's calibrated value).
+	ActivitySigma float64
+	// ActivityGrid is the quadrature resolution when > 0 (0 keeps the
+	// package default, 512).
+	ActivityGrid int
+	// PanelSize is the FDVT panel size (the paper's: 2,390).
+	PanelSize int
+	// ProfileMedian is the median interests-per-panel-user (the paper's: 426).
+	ProfileMedian float64
+}
+
+// CacheParams describes the audience-query cache in front of the model.
+type CacheParams struct {
+	// Disabled reproduces the pre-engine behaviour: every audience
+	// evaluation recomputes the full activity-grid product. Results are
+	// byte-identical either way; only wall time changes.
+	Disabled bool
+	// Capacity is how many conjunction prefixes the cache retains
+	// (0 = audience.DefaultCapacity).
+	Capacity int
+	// Mode selects the caching contract: audience.ModeExact (byte-identical
+	// ordered path) or audience.ModeCanonical (permutation-invariant
+	// set-level cache within audience.MaxCanonicalRelativeError).
+	Mode audience.Mode
+}
+
+// KernelParams toggles the two evaluation kernels. Both default to on; both
+// are bit-identical to their naive paths (gated in determinism_test.go).
+type KernelParams struct {
+	// DisableRowKernel turns off the population model's precomputed
+	// inclusion-row kernel.
+	DisableRowKernel bool
+	// DisableColumnKernel turns off the estimator's presorted columnar
+	// bootstrap kernel.
+	DisableColumnKernel bool
+}
+
+// Config is the complete world-construction configuration.
+type Config struct {
+	Population PopulationParams
+	Cache      CacheParams
+	Kernels    KernelParams
+	// Parallelism is the worker count for studies and experiments
+	// (0 = one per core, 1 = sequential). Results are byte-identical for
+	// any value under a fixed seed.
+	Parallelism int
+}
+
+// Default returns the paper's full-scale configuration — the exact defaults
+// nanotarget.NewWorld has always used.
+func Default() Config {
+	return Config{
+		Population: PopulationParams{
+			Seed:          1,
+			CatalogSize:   98_982,
+			Population:    1_500_000_000,
+			ActivitySigma: 0, // 0 = package default
+			ActivityGrid:  512,
+			PanelSize:     2390,
+			ProfileMedian: 426,
+		},
+	}
+}
+
+// Root returns the master random generator of the configured world. Every
+// substream (catalog, panel, studies) derives from it by label.
+func (c Config) Root() *rng.Rand { return rng.New(c.Population.Seed) }
+
+// BuildCatalog generates the interest catalog. The generator stream is
+// derived from the master seed with the "catalog" label, so any two builds
+// of the same Config — and of two Configs differing only outside
+// PopulationParams.{Seed,CatalogSize,Population} — share a bit-identical
+// catalog.
+func (c Config) BuildCatalog() (*interest.Catalog, error) {
+	icfg := interest.DefaultConfig()
+	icfg.Size = c.Population.CatalogSize
+	icfg.Population = c.Population.Population
+	cat, err := interest.Generate(icfg, c.Root().Derive("catalog"))
+	if err != nil {
+		return nil, fmt.Errorf("worldcfg: building catalog: %w", err)
+	}
+	return cat, nil
+}
+
+// BuildModel calibrates a population model over cat. pop overrides the
+// modeled user-base size when > 0 (the serving tier passes each shard's
+// range size); pass 0 for the configured population. Because the model's
+// activity calibration targets catalog shares, not user counts, every
+// override yields bit-identical per-interest rates and activity grids — only
+// the Population() accessor differs.
+func (c Config) BuildModel(cat *interest.Catalog, pop int64) (*population.Model, error) {
+	pcfg := population.DefaultConfig(cat)
+	pcfg.Population = c.Population.Population
+	if pop > 0 {
+		pcfg.Population = pop
+	}
+	if c.Population.ActivitySigma > 0 {
+		pcfg.ActivitySigma = c.Population.ActivitySigma
+	}
+	if c.Population.ActivityGrid > 0 {
+		pcfg.ActivityGridSize = c.Population.ActivityGrid
+	}
+	pcfg.DisableRowKernel = c.Kernels.DisableRowKernel
+	model, err := population.NewModel(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("worldcfg: building population model: %w", err)
+	}
+	return model, nil
+}
+
+// NewEngine builds the audience engine described by CacheParams over model.
+func (c Config) NewEngine(model *population.Model) *audience.Engine {
+	return audience.New(model, audience.Options{
+		Capacity: c.Cache.Capacity,
+		Mode:     c.Cache.Mode,
+		Disabled: c.Cache.Disabled,
+	})
+}

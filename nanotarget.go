@@ -33,6 +33,7 @@ import (
 	"nanotarget/internal/interest"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
+	"nanotarget/internal/worldcfg"
 )
 
 // World is a calibrated synthetic Facebook with a research panel.
@@ -45,62 +46,73 @@ type World struct {
 	columnKernelOff bool
 }
 
-type config struct {
-	seed            uint64
-	catalogSize     int
-	population      int64
-	activitySigma   float64
-	gridSize        int
-	panelSize       int
-	profileMedian   float64
-	parallelism     int
-	cacheOff        bool
-	cacheCapacity   int
-	cacheMode       audience.Mode
-	rowKernelOff    bool
-	columnKernelOff bool
-}
+// WorldConfig is the complete, grouped world-construction configuration:
+// PopulationParams (seed, catalog, user base, panel), CacheParams (the
+// audience-query cache), KernelParams (the two evaluation kernels) and the
+// Parallelism knob. It is shared — by alias — with the serving tier
+// (internal/serving builds every shard from the same struct) and the cmd
+// flag surface (internal/cliflags registers flags straight into it). Start
+// from DefaultWorldConfig and adjust fields, or use the With* options, which
+// are thin adapters over the same struct.
+type WorldConfig = worldcfg.Config
 
-// Option customizes world construction.
-type Option func(*config)
+// PopulationParams groups the synthetic-population knobs of a WorldConfig.
+type PopulationParams = worldcfg.PopulationParams
+
+// CacheParams groups the audience-cache knobs of a WorldConfig.
+type CacheParams = worldcfg.CacheParams
+
+// KernelParams groups the evaluation-kernel toggles of a WorldConfig.
+type KernelParams = worldcfg.KernelParams
+
+// DefaultWorldConfig returns the paper's full-scale configuration — the
+// defaults NewWorld applies before its options.
+func DefaultWorldConfig() WorldConfig { return worldcfg.Default() }
+
+// Option customizes world construction by editing a WorldConfig.
+type Option func(*WorldConfig)
 
 // WithSeed fixes the master seed (default 1). Identical seeds produce
 // bit-identical worlds, panels, studies and experiments.
-func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed uint64) Option { return func(c *WorldConfig) { c.Population.Seed = seed } }
 
 // WithCatalogSize sets the number of interests (default 98,982, the paper's
 // dataset). Smaller catalogs build faster but shift uniqueness downward.
-func WithCatalogSize(n int) Option { return func(c *config) { c.catalogSize = n } }
+func WithCatalogSize(n int) Option { return func(c *WorldConfig) { c.Population.CatalogSize = n } }
 
 // WithPopulation sets the modeled user-base size (default 1.5e9, the
 // paper's 2017 top-50-country base; the 2020 experiment used 2.8e9).
-func WithPopulation(n int64) Option { return func(c *config) { c.population = n } }
+func WithPopulation(n int64) Option { return func(c *WorldConfig) { c.Population.Population = n } }
 
 // WithActivitySigma overrides the calibrated activity spread.
-func WithActivitySigma(sigma float64) Option { return func(c *config) { c.activitySigma = sigma } }
+func WithActivitySigma(sigma float64) Option {
+	return func(c *WorldConfig) { c.Population.ActivitySigma = sigma }
+}
 
 // WithActivityGrid sets the quadrature resolution (default 512).
-func WithActivityGrid(n int) Option { return func(c *config) { c.gridSize = n } }
+func WithActivityGrid(n int) Option { return func(c *WorldConfig) { c.Population.ActivityGrid = n } }
 
 // WithPanelSize sets the FDVT panel size (default 2,390).
-func WithPanelSize(n int) Option { return func(c *config) { c.panelSize = n } }
+func WithPanelSize(n int) Option { return func(c *WorldConfig) { c.Population.PanelSize = n } }
 
 // WithProfileMedian sets the median interests-per-panel-user (default 426).
 // Scale this down together with WithCatalogSize for fast demo worlds.
-func WithProfileMedian(m float64) Option { return func(c *config) { c.profileMedian = m } }
+func WithProfileMedian(m float64) Option {
+	return func(c *WorldConfig) { c.Population.ProfileMedian = m }
+}
 
 // WithAudienceCache toggles the shared audience-query cache (default on).
 // Off reproduces the pre-engine behaviour: every audience evaluation
 // recomputes the full activity-grid product. Results are byte-identical
 // either way under a fixed seed (the engine's determinism contract, gated
 // by determinism_test.go); only wall time changes.
-func WithAudienceCache(on bool) Option { return func(c *config) { c.cacheOff = !on } }
+func WithAudienceCache(on bool) Option { return func(c *WorldConfig) { c.Cache.Disabled = !on } }
 
 // WithAudienceCacheCapacity sets how many conjunction prefixes the audience
 // cache retains (default audience.DefaultCapacity). Each entry holds one
 // survivor vector of ActivityGrid float64s.
 func WithAudienceCacheCapacity(n int) Option {
-	return func(c *config) { c.cacheCapacity = n }
+	return func(c *WorldConfig) { c.Cache.Capacity = n }
 }
 
 // WithAudienceCacheMode selects the audience cache contract (default
@@ -111,7 +123,7 @@ func WithAudienceCacheCapacity(n int) Option {
 // bound (audience.MaxCanonicalRelativeError) against the exact path. See
 // the audience package docs for when each contract is appropriate.
 func WithAudienceCacheMode(m audience.Mode) Option {
-	return func(c *config) { c.cacheMode = m }
+	return func(c *WorldConfig) { c.Cache.Mode = m }
 }
 
 // WithRowKernel toggles the population model's precomputed inclusion-row
@@ -122,7 +134,9 @@ func WithAudienceCacheMode(m audience.Mode) Option {
 // fixed seed (the kernel hoists the exact inline expressions — gated in
 // determinism_test.go); only wall time and row-table memory
 // (ActivityGrid × 8 bytes per touched interest) change.
-func WithRowKernel(on bool) Option { return func(c *config) { c.rowKernelOff = !on } }
+func WithRowKernel(on bool) Option {
+	return func(c *WorldConfig) { c.Kernels.DisableRowKernel = !on }
+}
 
 // WithColumnKernel toggles the estimator's presorted columnar bootstrap
 // kernel (default on). The kernel presorts each combination size's panel
@@ -133,7 +147,9 @@ func WithRowKernel(on bool) Option { return func(c *config) { c.rowKernelOff = !
 // sort would have and applies the same interpolation arithmetic (gated in
 // determinism_test.go); only wall time and the column-index memory
 // (12 bytes per collected sample) change.
-func WithColumnKernel(on bool) Option { return func(c *config) { c.columnKernelOff = !on } }
+func WithColumnKernel(on bool) Option {
+	return func(c *WorldConfig) { c.Kernels.DisableColumnKernel = !on }
+}
 
 // WithParallelism sets the worker count used by every study and experiment
 // the world runs (default 0 = runtime.GOMAXPROCS(0), i.e. one worker per
@@ -141,49 +157,39 @@ func WithColumnKernel(on bool) Option { return func(c *config) { c.columnKernelO
 // byte-identical for any value under a fixed seed: each task derives its
 // random stream from the task's stable identity (user, bootstrap iteration,
 // campaign creative), never from execution order.
-func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+func WithParallelism(n int) Option { return func(c *WorldConfig) { c.Parallelism = n } }
 
 // NewWorld builds a calibrated world and panel. With default options this
 // reproduces the paper's full-scale setting (≈5s of construction); examples
-// use smaller options.
+// use smaller options. It is DefaultWorldConfig + opts fed to
+// NewWorldFromConfig.
 func NewWorld(opts ...Option) (*World, error) {
-	cfg := config{
-		seed:          1,
-		catalogSize:   98_982,
-		population:    1_500_000_000,
-		activitySigma: 0, // 0 = package default
-		gridSize:      512,
-		panelSize:     2390,
-		profileMedian: 426,
-	}
+	cfg := DefaultWorldConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	root := rng.New(cfg.seed)
+	return NewWorldFromConfig(cfg)
+}
 
-	icfg := interest.DefaultConfig()
-	icfg.Size = cfg.catalogSize
-	icfg.Population = cfg.population
-	cat, err := interest.Generate(icfg, root.Derive("catalog"))
+// NewWorldFromConfig builds a calibrated world and panel from an explicit
+// configuration — the constructor behind NewWorld, exposed for callers that
+// assemble a WorldConfig directly (internal/cliflags-driven tools, the
+// serving tier's shard builder). Identical configs produce bit-identical
+// worlds.
+func NewWorldFromConfig(cfg WorldConfig) (*World, error) {
+	root := cfg.Root()
+	cat, err := cfg.BuildCatalog()
 	if err != nil {
-		return nil, fmt.Errorf("nanotarget: building catalog: %w", err)
+		return nil, fmt.Errorf("nanotarget: %w", err)
 	}
-
-	pcfg := population.DefaultConfig(cat)
-	pcfg.Population = cfg.population
-	if cfg.activitySigma > 0 {
-		pcfg.ActivitySigma = cfg.activitySigma
-	}
-	pcfg.ActivityGridSize = cfg.gridSize
-	pcfg.DisableRowKernel = cfg.rowKernelOff
-	model, err := population.NewModel(pcfg)
+	model, err := cfg.BuildModel(cat, 0)
 	if err != nil {
-		return nil, fmt.Errorf("nanotarget: building population model: %w", err)
+		return nil, fmt.Errorf("nanotarget: %w", err)
 	}
 
 	fcfg := fdvt.DefaultPanelConfig(model)
-	fcfg.Size = cfg.panelSize
-	fcfg.ProfileMedian = cfg.profileMedian
+	fcfg.Size = cfg.Population.PanelSize
+	fcfg.ProfileMedian = cfg.Population.ProfileMedian
 	// Profiles cannot exceed the catalog; keep the clamp meaningful for
 	// small demo catalogs.
 	if fcfg.ProfileMax > float64(cat.Len()) {
@@ -193,18 +199,13 @@ func NewWorld(opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nanotarget: building panel: %w", err)
 	}
-	aud := audience.New(model, audience.Options{
-		Capacity: cfg.cacheCapacity,
-		Mode:     cfg.cacheMode,
-		Disabled: cfg.cacheOff,
-	})
 	return &World{
 		model:           model,
-		audience:        aud,
+		audience:        cfg.NewEngine(model),
 		panel:           panel,
 		root:            root,
-		parallelism:     cfg.parallelism,
-		columnKernelOff: cfg.columnKernelOff,
+		parallelism:     cfg.Parallelism,
+		columnKernelOff: cfg.Kernels.DisableColumnKernel,
 	}, nil
 }
 
