@@ -7,7 +7,7 @@ GO ?= go
 # it: run `make cover`, note the "total:" line, and bump the floor to about
 # one point below the new total so unrelated refactors don't flap the gate.
 # Never lower it to make a PR pass — add tests instead.
-COVERAGE_FLOOR ?= 74.5
+COVERAGE_FLOOR ?= 74.7
 
 .PHONY: all build test bench bench-smoke bench-audience bench-uniqueness bench-serving cover fuzz-smoke lint fmt clean
 

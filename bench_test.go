@@ -500,6 +500,36 @@ func BenchmarkAudienceQueries(b *testing.B) {
 	})
 }
 
+// BenchmarkAudienceConditional measures the composite (DemoFilter,
+// conjunction) path the Appendix C group-conditional collection rides:
+// every query is an ExpectedAudienceConditional under one of the group
+// filters. The warm demo level must stay at 0 allocs/op — the same
+// envelope the plain warm conjunction path is gated at.
+func BenchmarkAudienceConditional(b *testing.B) {
+	w := getBenchWorld(b)
+	m := w.Model()
+	queries := audienceProbeWorkload(m.Catalog(), 40, 25)
+	filters := []population.DemoFilter{
+		{Genders: []population.Gender{population.GenderFemale}},
+		{AgeMin: 20, AgeMax: 39},
+		{Countries: []string{"ES"}},
+	}
+	b.Run("demo-warm", func(b *testing.B) {
+		eng := audience.Cached(m)
+		for qi, q := range queries {
+			eng.ExpectedAudienceConditional(filters[qi%len(filters)], q) // warm
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for qi, q := range queries {
+				if eng.ExpectedAudienceConditional(filters[qi%len(filters)], q) < 0 {
+					b.Fatal("negative audience")
+				}
+			}
+		}
+	})
+}
+
 // audiencePermutedWorkload builds the ADVERSARIAL probe pattern of the
 // reach-estimate abuse literature (Faizullabhoy & Korolova; reused on
 // LinkedIn by Merino et al.): a fixed collection of interest SETS, each

@@ -33,10 +33,12 @@ func main() {
 	cfg := cliflags.RegisterWorldFlags(flag.CommandLine,
 		cliflags.Without(cliflags.FlagCache, cliflags.FlagCacheCap, cliflags.FlagCacheMode))
 	var (
-		fig   = flag.Int("fig", 0, "figure number: 1, 2, 8, 9 or 10 (0 = all)")
-		table = flag.Int("table", 0, "table number: 3 or 4 (0 = none unless -fig 0)")
-		boot  = flag.Int("boot", 300, "bootstrap iterations for Figs 8-10")
-		out   = flag.String("out", "", "directory for CSV output (optional)")
+		fig       = flag.Int("fig", 0, "figure number: 1, 2, 8, 9 or 10 (0 = all)")
+		table     = flag.Int("table", 0, "table number: 3 or 4 (0 = none unless -fig 0)")
+		boot      = flag.Int("boot", 300, "bootstrap iterations for Figs 8-10")
+		out       = flag.String("out", "", "directory for CSV output (optional)")
+		worldwide = flag.Bool("worldwide-groups", false,
+			"legacy Figs 8-10 semantics: subset the panel per group but keep audience queries worldwide (comparison mode; default is group-conditional audiences)")
 	)
 	flag.Parse()
 
@@ -127,11 +129,19 @@ func main() {
 	}
 
 	groupFig := func(n int, grouping nanotarget.Grouping, title string, paperNote string) {
-		res, err := w.GroupUniqueness(grouping, 0.9, *boot)
+		res, err := w.GroupUniquenessWithOptions(grouping, nanotarget.GroupUniquenessOptions{
+			P:                  0.9,
+			BootstrapIters:     *boot,
+			WorldwideAudiences: *worldwide,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nFig %d — N_0.9 by %s (%s)\n", n, title, paperNote)
+		mode := "group-conditional audiences"
+		if *worldwide {
+			mode = "legacy worldwide audiences"
+		}
+		fmt.Printf("\nFig %d — N_0.9 by %s, %s (%s)\n", n, title, mode, paperNote)
 		tab := report.NewTable("", "group", "users", "strategy", "N_0.9", "95% CI")
 		var xs, ys []float64
 		for _, g := range res {

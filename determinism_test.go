@@ -528,6 +528,53 @@ func TestCanonicalModeWorkersSelfConsistent(t *testing.T) {
 	}
 }
 
+// TestGroupAnalysisParallelismIsByteIdentical gates the Appendix C group
+// path: RunGroupAnalysis at workers 1 and 4 must produce byte-identical
+// estimates for every (group, strategy) cell — each job derives its random
+// streams from its own (group, selector) labels, never execution order — in
+// both the group-conditional default and the legacy worldwide mode.
+func TestGroupAnalysisParallelismIsByteIdentical(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		w := detWorld(t, seed)
+		for _, worldwide := range []bool{false, true} {
+			run := func(workers int) []core.GroupResult {
+				res, err := core.RunGroupAnalysis(w.PanelUsers(), core.NewEngineSource(w.Audience()),
+					core.GroupConfig{
+						Groups:             core.GenderGroups(),
+						Selectors:          []core.Selector{core.LeastPopular{}, core.Random{}},
+						P:                  0.9,
+						BootstrapIters:     150,
+						Rand:               rng.New(seed),
+						Parallelism:        workers,
+						WorldwideAudiences: worldwide,
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq, par := run(1), run(4)
+			if len(seq) != len(par) {
+				t.Fatalf("seed %d worldwide=%v: row counts differ", seed, worldwide)
+			}
+			for i := range seq {
+				a, b := seq[i], par[i]
+				if a.Label != b.Label || a.Strategy != b.Strategy || a.Users != b.Users {
+					t.Fatalf("seed %d worldwide=%v: row %d identity diverged: %+v vs %+v",
+						seed, worldwide, i, a, b)
+				}
+				if !sameFloat(a.Estimate.NP, b.Estimate.NP) ||
+					!sameFloat(a.Estimate.CI.Lo, b.Estimate.CI.Lo) ||
+					!sameFloat(a.Estimate.CI.Hi, b.Estimate.CI.Hi) ||
+					!sameFloat(a.Estimate.R2, b.Estimate.R2) {
+					t.Fatalf("seed %d worldwide=%v: %s/%s diverged: sequential %+v vs parallel %+v",
+						seed, worldwide, a.Label, a.Strategy, a.Estimate, b.Estimate)
+				}
+			}
+		}
+	}
+}
+
 func TestPolicyEvaluationParallelismIsByteIdentical(t *testing.T) {
 	w := detWorld(t, 42)
 	seq, err := w.EvaluatePolicies(PolicyOptions{Victims: 25, InterestCount: 12, Trials: 2, Parallelism: 1})

@@ -136,6 +136,72 @@ func TestGoldenDemographicBoost(t *testing.T) {
 	}
 }
 
+// TestGoldenGroupUniqueness pins the Appendix C group estimates (Figs 8-10)
+// at seed 42 under the group-conditional audience semantics this repository
+// adopted when the worldwide-audience fidelity bug was fixed: each group's
+// panel subset is scored against audiences conditioned on the group's own
+// demographic filter, so these pins were regenerated once when the
+// semantics changed (the estimator kernels themselves are unchanged — the
+// worldwide legacy values remain reachable via WorldwideAudiences: true).
+func TestGoldenGroupUniqueness(t *testing.T) {
+	w := goldenWorld(t)
+	type pin struct {
+		group, strategy string
+		users           int
+		np, r2          float64
+	}
+	cases := []struct {
+		g    Grouping
+		pins []pin
+	}{
+		{ByGender, []pin{
+			{"Men", "LP", 122, 4.832735123, 0.9399272209},
+			{"Men", "R", 122, 17.27023393, 0.9933749956},
+			{"Women", "LP", 22, 3.8889511, 0.996288365},
+			{"Women", "R", 22, 16.01583093, 0.9860907983},
+		}},
+		{ByAge, []pin{
+			{"Adolescence", "LP", 8, 3.901440804, 0.9653243511},
+			{"Adolescence", "R", 8, 27.64075079, 0.9797413318},
+			{"Early adulthood", "LP", 86, 4.897198821, 0.9515114735},
+			{"Early adulthood", "R", 86, 18.74808376, 0.994808095},
+			{"Adulthood", "LP", 36, 3.938119147, 0.9969410353},
+			{"Adulthood", "R", 36, 15.90643976, 0.9851770744},
+		}},
+		{ByCountry, []pin{
+			{"AR", "LP", 7, 2.801482104, 1},
+			{"AR", "R", 7, 9.814053466, 0.9880072597},
+			{"ES", "LP", 71, 4.026325918, 0.8528882521},
+			{"ES", "R", 71, 12.20718912, 0.9958018601},
+			{"FR", "LP", 21, 3.962188954, 0.8824869627},
+			{"FR", "R", 21, 12.6052217, 0.9710434179},
+			{"MX", "LP", 8, 7.735845292, 0.9850345336},
+			{"MX", "R", 8, 9.688805596, 0.9842985647},
+		}},
+	}
+	for _, c := range cases {
+		res, err := w.GroupUniquenessWithOptions(c.g, GroupUniquenessOptions{
+			P: 0.9, BootstrapIters: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(c.pins) {
+			t.Fatalf("grouping %v: %d rows, pinned %d", c.g, len(res), len(c.pins))
+		}
+		for i, p := range c.pins {
+			r := res[i]
+			if r.Group != p.group || r.Strategy != p.strategy || r.Users != p.users {
+				t.Errorf("grouping %v row %d = %s/%s (%d users), pinned %s/%s (%d)",
+					c.g, i, r.Group, r.Strategy, r.Users, p.group, p.strategy, p.users)
+				continue
+			}
+			closeRel(t, p.group+"/"+p.strategy+" N_0.9", r.Estimate.NP, p.np)
+			closeRel(t, p.group+"/"+p.strategy+" R2", r.Estimate.R2, p.r2)
+		}
+	}
+}
+
 // TestGoldenFDVTRiskCounts pins the §6 panel risk scan: how many scored
 // interests land in each risk band, and how exposed the panel is (users
 // holding at least one red, ≤10k-audience, interest).

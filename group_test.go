@@ -1,0 +1,168 @@
+package nanotarget
+
+// Metamorphic gates for the Appendix C group-conditional audience path
+// (Figs 8-10): the invariants that pin the conditional semantics to the
+// worldwide path at the boundaries where they must coincide, and order it
+// against the worldwide path where they must differ.
+
+import (
+	"testing"
+
+	"nanotarget/internal/core"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+)
+
+// groupSource builds the engine-backed source the facade's group analysis
+// uses, plus a conditional view of it for the given filter.
+func groupSource(t *testing.T, w *World, f population.DemoFilter) (worldwide, conditional core.AudienceSource) {
+	t.Helper()
+	src := core.NewEngineSource(w.Audience())
+	fs, err := src.WithFilter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, fs
+}
+
+// TestGroupZeroFilterMatchesWorldwide: a group whose DemoFilter is the zero
+// value (matches everyone) must produce byte-identical estimates through the
+// conditional path and the legacy worldwide path — the conditional semantics
+// degrade to worldwide exactly when the filter carries no information.
+func TestGroupZeroFilterMatchesWorldwide(t *testing.T) {
+	for _, seed := range determinismSeeds {
+		w := detWorld(t, seed)
+		run := func(worldwide bool) []core.GroupResult {
+			res, err := core.RunGroupAnalysis(w.PanelUsers(), core.NewEngineSource(w.Audience()),
+				core.GroupConfig{
+					Groups:             []core.GroupFilter{{Label: "Everyone"}},
+					Selectors:          []core.Selector{core.LeastPopular{}, core.Random{}},
+					P:                  0.9,
+					BootstrapIters:     150,
+					Rand:               rng.New(seed),
+					Parallelism:        4,
+					WorldwideAudiences: worldwide,
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		cond, world := run(false), run(true)
+		if len(cond) != len(world) {
+			t.Fatalf("seed %d: row counts differ", seed)
+		}
+		for i := range cond {
+			a, b := cond[i], world[i]
+			if a.Users != b.Users || !sameFloat(a.Estimate.NP, b.Estimate.NP) ||
+				!sameFloat(a.Estimate.CI.Lo, b.Estimate.CI.Lo) ||
+				!sameFloat(a.Estimate.CI.Hi, b.Estimate.CI.Hi) ||
+				!sameFloat(a.Estimate.R2, b.Estimate.R2) {
+				t.Fatalf("seed %d %s/%s: conditional %+v != worldwide %+v",
+					seed, a.Label, a.Strategy, a.Estimate, b.Estimate)
+			}
+		}
+
+		// The same invariant one layer down: WithFilter with the zero filter
+		// must report byte-identical reaches (DemoShare of zero is exactly 1).
+		src, zero := groupSource(t, w, population.DemoFilter{})
+		r := rng.New(seed ^ 0xD15C)
+		for trial := 0; trial < 40; trial++ {
+			ids := randomConjunction(r, w.CatalogSize())
+			a, err := zero.PotentialReach(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := src.PotentialReach(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("seed %d trial %d: zero-filter reach %d != worldwide %d", seed, trial, a, b)
+			}
+		}
+	}
+}
+
+// TestGroupConditionalAudienceLeqWorldwide: conditioning on ANY demographic
+// group can only shrink an audience — for every group filter of the three
+// Appendix C dimensions and every conjunction, the conditional Potential
+// Reach is at most the worldwide one (rounding is monotone, so the ordering
+// survives the platform clamp).
+func TestGroupConditionalAudienceLeqWorldwide(t *testing.T) {
+	groups := append(append(core.GenderGroups(), core.AgeGroups()...), core.CountryGroups()...)
+	for _, seed := range determinismSeeds {
+		w := detWorld(t, seed)
+		r := rng.New(seed ^ 0xFACE)
+		for _, g := range groups {
+			src, fs := groupSource(t, w, g.Filter)
+			for trial := 0; trial < 30; trial++ {
+				ids := randomConjunction(r, w.CatalogSize())
+				cond, err := fs.PotentialReach(ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				world, err := src.PotentialReach(ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cond > world {
+					t.Fatalf("seed %d group %q: conditional reach %d exceeds worldwide %d for %v",
+						seed, g.Label, cond, world, ids)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupConditionalPermutedProbesHitDemoCache: the composite
+// (DemoFilter, conjunction) values the group path queries live in the demo
+// cache level under a canonical key — re-probing a conjunction in any order
+// must hit, not recompute, and return the bit-identical value.
+func TestGroupConditionalPermutedProbesHitDemoCache(t *testing.T) {
+	w := detWorld(t, 42)
+	eng := w.Audience()
+	r := rng.New(7)
+	f := population.DemoFilter{Countries: []string{"ES"}}
+	base := randomConjunction(r, w.CatalogSize())
+	want := eng.ExpectedAudienceConditional(f, base)
+	before := w.AudienceCacheStats().Demo
+	for p := 0; p < 8; p++ {
+		perm := append([]interest.ID{}, base...)
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := eng.ExpectedAudienceConditional(f, perm); !sameFloat(got, want) {
+			t.Fatalf("permutation %d: conditional audience %v != original %v", p, got, want)
+		}
+	}
+	after := w.AudienceCacheStats().Demo
+	if after.Hits <= before.Hits {
+		t.Fatalf("permuted re-probes missed the demo level: hits %d -> %d", before.Hits, after.Hits)
+	}
+}
+
+// TestGroupRunHitsDemoCache: a full conditional group analysis must be
+// served from the demo cache level after the first query of each
+// (group, conjunction) — the whole point of routing collection through the
+// PR-3 composite keys instead of worldwide Collect.
+func TestGroupRunHitsDemoCache(t *testing.T) {
+	w := detWorld(t, 42)
+	if _, err := w.GroupUniquenessWithOptions(ByGender, GroupUniquenessOptions{
+		P: 0.9, BootstrapIters: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.AudienceCacheStats(); st.Demo.Hits == 0 {
+		t.Fatalf("group-conditional run never hit the demo level; collection is not using the composite keys (%+v)", st)
+	}
+}
+
+// randomConjunction draws 1-6 catalog interests (duplicates allowed — the
+// sources must tolerate them like the Ads API does).
+func randomConjunction(r *rng.Rand, catalogSize int) []interest.ID {
+	ids := make([]interest.ID, 1+r.Intn(6))
+	for i := range ids {
+		ids[i] = interest.ID(r.Intn(catalogSize))
+	}
+	return ids
+}

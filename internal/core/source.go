@@ -65,6 +65,26 @@ func NewEngineSource(eng *audience.Engine) *ModelSource {
 // Floor implements AudienceSource.
 func (s *ModelSource) Floor() int64 { return s.MinReach }
 
+// WithFilter implements FilteredSource: a copy of the source whose reported
+// audiences are conditioned on f — PrefixReach scales its conditional base
+// by the filter's demographic share and PotentialReach evaluates composite
+// (DemoFilter, conjunction) keys, both through the engine's cached demo
+// level when one is attached. A zero f returns a source byte-identical to
+// the receiver (DemoShare of the zero filter is exactly 1). Composing two
+// non-zero filters is not supported: group analysis always starts from a
+// worldwide base.
+func (s *ModelSource) WithFilter(f population.DemoFilter) (AudienceSource, error) {
+	cp := *s
+	if f.IsZero() {
+		return &cp, nil
+	}
+	if !s.Filter.IsZero() {
+		return nil, errors.New("core: ModelSource already carries a demographic filter; composing filters is not supported")
+	}
+	cp.Filter = f
+	return &cp, nil
+}
+
 // PotentialReach implements AudienceSource.
 func (s *ModelSource) PotentialReach(ids []interest.ID) (int64, error) {
 	if s.Model == nil {

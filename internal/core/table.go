@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
 )
@@ -92,12 +94,22 @@ func RunStudy(users []*population.User, src AudienceSource, cfg StudyConfig) (*S
 }
 
 // GroupFilter selects a demographic sub-panel for the Appendix C analysis.
+// The targeting filter is the single source of truth: panel membership
+// (Match) and audience narrowing (the conditional collection path) are both
+// derived from Filter, so the demographic numerator and denominator of a
+// group estimate can never disagree.
 type GroupFilter struct {
 	// Label names the group in reports ("Men", "Adolescence", "ES", ...).
 	Label string
-	// Match decides panel membership.
-	Match func(u *population.User) bool
+	// Filter is the demographic targeting that defines the group. Panel
+	// users matching it form the sub-panel; group audience queries are
+	// conditioned on it (unless GroupConfig.WorldwideAudiences).
+	Filter population.DemoFilter
 }
+
+// Match decides panel membership: whether the user falls inside the group's
+// demographic filter (population.DemoFilter.Matches).
+func (g GroupFilter) Match(u *population.User) bool { return g.Filter.Matches(u) }
 
 // GroupResult is one bar of Figures 8–10: N_P for one demographic group.
 type GroupResult struct {
@@ -121,18 +133,49 @@ type GroupConfig struct {
 	BootstrapIters int
 	// Rand seeds per-group selection and bootstrap. Required.
 	Rand *rng.Rand
-	// Parallelism spreads each group's collection and bootstrap across this
-	// many goroutines (0 = one per core, 1 = sequential) without changing
-	// the result.
+	// Parallelism spreads the (group, selector) jobs — and each job's
+	// collection and bootstrap — across this many goroutines (0 = one per
+	// core, 1 = sequential) without changing the result: every job derives
+	// its random streams from its own (group, selector) labels, never from
+	// execution order.
 	Parallelism int
 	// DisableColumnKernel restores the naive sort-per-resample bootstrap
 	// path (see Samples.DisableColumnKernel; bit-identical either way).
 	DisableColumnKernel bool
+	// WorldwideAudiences reproduces the legacy (pre-conditional) behaviour
+	// for comparison figures: every group's audience queries stay worldwide
+	// even though the panel is subset per group. The default (false) narrows
+	// each group's audiences by its own DemoFilter through the source's
+	// conditional path — the Appendix C semantics.
+	WorldwideAudiences bool
+}
+
+// FilteredSource is an AudienceSource that can narrow the audiences it
+// reports to a demographic slice. ModelSource implements it by folding the
+// slice share into its conditional-audience arithmetic (served from the
+// audience engine's cached demo level when one is attached).
+type FilteredSource interface {
+	AudienceSource
+	// WithFilter returns a source whose reported audiences are conditioned
+	// on f. The receiver is not modified.
+	WithFilter(f population.DemoFilter) (AudienceSource, error)
 }
 
 // RunGroupAnalysis estimates N_P (single probability cfg.P, paper uses 0.9)
 // for each demographic group under each selector — the Appendix C analysis
 // behind Figures 8, 9 and 10.
+//
+// Each group's audience queries are conditioned on the group's own
+// DemoFilter (through FilteredSource — for the engine-backed ModelSource
+// that means the cached demo level), so a group estimate divides a
+// demographic numerator by a demographic denominator. A zero-filter group
+// is byte-identical to the worldwide path (DemoShare 1 leaves the
+// conditional arithmetic untouched); GroupConfig.WorldwideAudiences
+// reproduces the legacy worldwide-denominator behaviour for comparison.
+//
+// The (group, selector) jobs fan out over internal/parallel; every job
+// derives its selection and bootstrap streams from its own labels, so
+// results are byte-identical at any Parallelism.
 func RunGroupAnalysis(users []*population.User, src AudienceSource, cfg GroupConfig) ([]GroupResult, error) {
 	if cfg.Rand == nil {
 		return nil, errors.New("core: rand is required")
@@ -140,7 +183,13 @@ func RunGroupAnalysis(users []*population.User, src AudienceSource, cfg GroupCon
 	if len(cfg.Groups) == 0 || len(cfg.Selectors) == 0 {
 		return nil, errors.New("core: GroupConfig needs Groups and Selectors")
 	}
-	var out []GroupResult
+	type job struct {
+		g   GroupFilter
+		sub []*population.User
+		src AudienceSource
+		sel Selector
+	}
+	jobs := make([]job, 0, len(cfg.Groups)*len(cfg.Selectors))
 	for _, g := range cfg.Groups {
 		var sub []*population.User
 		for _, u := range users {
@@ -151,48 +200,69 @@ func RunGroupAnalysis(users []*population.User, src AudienceSource, cfg GroupCon
 		if len(sub) == 0 {
 			return nil, fmt.Errorf("core: group %q matched no users", g.Label)
 		}
+		gsrc := src
+		if !cfg.WorldwideAudiences && !g.Filter.IsZero() {
+			fs, ok := src.(FilteredSource)
+			if !ok {
+				return nil, fmt.Errorf("core: group %q needs conditional audiences but the source cannot narrow; set GroupConfig.WorldwideAudiences for the legacy behaviour", g.Label)
+			}
+			narrowed, err := fs.WithFilter(g.Filter)
+			if err != nil {
+				return nil, fmt.Errorf("core: group %q: %w", g.Label, err)
+			}
+			gsrc = narrowed
+		}
 		for _, sel := range cfg.Selectors {
-			samples, err := Collect(sub, sel, src, CollectConfig{
-				Seed:                cfg.Rand.Derive("group/" + g.Label + "/" + sel.Name()),
-				Parallelism:         cfg.Parallelism,
-				DisableColumnKernel: cfg.DisableColumnKernel,
-			})
-			if err != nil {
-				return nil, err
-			}
-			est, err := EstimateNP(samples, cfg.P, EstimateConfig{
-				BootstrapIters: cfg.BootstrapIters,
-				CILevel:        0.95,
-				Rand:           cfg.Rand.Derive("groupboot/" + g.Label + "/" + sel.Name()),
-				Parallelism:    cfg.Parallelism,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: group %q (%s): %w", g.Label, sel.Name(), err)
-			}
-			out = append(out, GroupResult{
-				Label:    g.Label,
-				Strategy: sel.Name(),
-				Users:    len(sub),
-				Estimate: est,
-			})
+			jobs = append(jobs, job{g: g, sub: sub, src: gsrc, sel: sel})
 		}
 	}
-	return out, nil
+	// rng.Derive reads the parent state without advancing it, so deriving
+	// inside the workers is schedule-independent: each job's streams depend
+	// only on its (group, selector) labels.
+	return parallel.Map(context.Background(), len(jobs), cfg.Parallelism, func(i int) (GroupResult, error) {
+		j := jobs[i]
+		samples, err := Collect(j.sub, j.sel, j.src, CollectConfig{
+			Seed:                cfg.Rand.Derive("group/" + j.g.Label + "/" + j.sel.Name()),
+			Parallelism:         cfg.Parallelism,
+			DisableColumnKernel: cfg.DisableColumnKernel,
+		})
+		if err != nil {
+			return GroupResult{}, err
+		}
+		est, err := EstimateNP(samples, cfg.P, EstimateConfig{
+			BootstrapIters: cfg.BootstrapIters,
+			CILevel:        0.95,
+			Rand:           cfg.Rand.Derive("groupboot/" + j.g.Label + "/" + j.sel.Name()),
+			Parallelism:    cfg.Parallelism,
+		})
+		if err != nil {
+			return GroupResult{}, fmt.Errorf("core: group %q (%s): %w", j.g.Label, j.sel.Name(), err)
+		}
+		return GroupResult{
+			Label:    j.g.Label,
+			Strategy: j.sel.Name(),
+			Users:    len(j.sub),
+			Estimate: est,
+		}, nil
+	})
 }
 
-// GenderGroups returns the paper's Fig 8 grouping.
+// GenderGroups returns the paper's Fig 8 grouping. Undisclosed users belong
+// to neither group (the paper's panel reports them separately).
 func GenderGroups() []GroupFilter {
 	return []GroupFilter{
-		{Label: "Men", Match: func(u *population.User) bool { return u.Gender == population.GenderMale }},
-		{Label: "Women", Match: func(u *population.User) bool { return u.Gender == population.GenderFemale }},
+		{Label: "Men", Filter: population.DemoFilter{Genders: []population.Gender{population.GenderMale}}},
+		{Label: "Women", Filter: population.DemoFilter{Genders: []population.Gender{population.GenderFemale}}},
 	}
 }
 
 // AgeGroups returns the paper's Fig 9 grouping (Maturity excluded: only 19
-// panel users, as in the paper).
+// panel users, as in the paper). Each group's filter is the inclusive age
+// range that selects exactly the Erikson band's users (AgeGroup.Bounds).
 func AgeGroups() []GroupFilter {
 	mk := func(label string, g population.AgeGroup) GroupFilter {
-		return GroupFilter{Label: label, Match: func(u *population.User) bool { return u.AgeGroup() == g }}
+		lo, hi := g.Bounds()
+		return GroupFilter{Label: label, Filter: population.DemoFilter{AgeMin: lo, AgeMax: hi}}
 	}
 	return []GroupFilter{
 		mk("Adolescence", population.AgeAdolescence),
@@ -205,7 +275,7 @@ func AgeGroups() []GroupFilter {
 // more than 100 users (ES, FR, MX, AR).
 func CountryGroups() []GroupFilter {
 	mk := func(code string) GroupFilter {
-		return GroupFilter{Label: code, Match: func(u *population.User) bool { return u.Country == code }}
+		return GroupFilter{Label: code, Filter: population.DemoFilter{Countries: []string{code}}}
 	}
 	return []GroupFilter{mk("AR"), mk("ES"), mk("FR"), mk("MX")}
 }

@@ -1,0 +1,96 @@
+package fdvt
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"nanotarget/internal/stats"
+)
+
+// TestDescribeMatchesSortedPath is the differential gate for the ECDF
+// conversion of Panel.Describe: the counting-column min/median/max must be
+// byte-identical to the legacy sort-the-expansion computation, on both odd
+// and even panel sizes (the even case exercises the averaged-middle median).
+func TestDescribeMatchesSortedPath(t *testing.T) {
+	m := testModel(t)
+	for _, size := range []int{200, 201} {
+		p := smallPanel(t, m, size, 7)
+		s := p.Describe()
+
+		sizes := make([]int, 0, len(p.Users))
+		for _, u := range p.Users {
+			sizes = append(sizes, len(u.Interests))
+		}
+		sort.Ints(sizes)
+		wantMin, wantMax := sizes[0], sizes[len(sizes)-1]
+		mid := len(sizes) / 2
+		var wantMedian float64
+		if len(sizes)%2 == 1 {
+			wantMedian = float64(sizes[mid])
+		} else {
+			wantMedian = float64(sizes[mid-1]+sizes[mid]) / 2
+		}
+
+		if s.MinProfile != wantMin || s.MaxProfile != wantMax {
+			t.Fatalf("size %d: min/max = %d/%d, sorted path %d/%d",
+				size, s.MinProfile, s.MaxProfile, wantMin, wantMax)
+		}
+		if math.Float64bits(s.MedianProfile) != math.Float64bits(wantMedian) {
+			t.Fatalf("size %d: median %v != sorted-path median %v (bitwise)",
+				size, s.MedianProfile, wantMedian)
+		}
+	}
+}
+
+// TestSummarizeRiskQuartilesMatchSortedPath pins the panel-level audience
+// quartiles to the reference computation: sort the full expansion of active
+// scored audiences and evaluate stats.QuantileSorted. The counting-column
+// walk must agree bitwise.
+func TestSummarizeRiskQuartilesMatchSortedPath(t *testing.T) {
+	m := testModel(t)
+	p := smallPanel(t, m, 60, 11)
+	oracle := CatalogOracle(m.Catalog(), m.Population())
+	reports, err := ScanPanel(p.Users, oracle, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeRisk(reports)
+
+	var audiences []float64
+	for _, rep := range reports {
+		for _, e := range rep.Entries() {
+			if e.Active {
+				audiences = append(audiences, float64(e.Audience))
+			}
+		}
+	}
+	if len(audiences) == 0 {
+		t.Fatal("no audiences scored")
+	}
+	sort.Float64s(audiences)
+	for _, c := range []struct {
+		q    float64
+		got  float64
+		name string
+	}{
+		{0.25, sum.AudienceQ25, "Q25"},
+		{0.50, sum.AudienceQ50, "Q50"},
+		{0.75, sum.AudienceQ75, "Q75"},
+	} {
+		want := stats.QuantileSorted(audiences, c.q)
+		if math.Float64bits(c.got) != math.Float64bits(want) {
+			t.Fatalf("%s = %v, sorted path %v (bitwise)", c.name, c.got, want)
+		}
+	}
+}
+
+// TestSummarizeRiskQuartilesEmpty guards the zero-interest edge: no scored
+// interests leaves the quartiles at zero rather than panicking.
+func TestSummarizeRiskQuartilesEmpty(t *testing.T) {
+	sum := SummarizeRisk(nil)
+	if sum.AudienceQ25 != 0 || sum.AudienceQ50 != 0 || sum.AudienceQ75 != 0 {
+		t.Fatalf("empty summary quartiles = %v/%v/%v, want zeros",
+			sum.AudienceQ25, sum.AudienceQ50, sum.AudienceQ75)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"nanotarget/internal/geo"
 	"nanotarget/internal/population"
 	"nanotarget/internal/rng"
+	"nanotarget/internal/stats"
 )
 
 // PanelConfig controls panel generation.
@@ -229,7 +230,7 @@ func (p *Panel) Describe() Stats {
 	s := Stats{Users: len(p.Users)}
 	countries := map[string]bool{}
 	unique := map[int64]bool{}
-	sizes := make([]int, 0, len(p.Users))
+	sizes := make([]float64, 0, len(p.Users))
 	for _, u := range p.Users {
 		switch u.Gender {
 		case population.GenderMale:
@@ -256,20 +257,19 @@ func (p *Panel) Describe() Stats {
 		for _, id := range u.Interests {
 			unique[int64(id)] = true
 		}
-		sizes = append(sizes, len(u.Interests))
+		sizes = append(sizes, float64(len(u.Interests)))
 	}
 	s.Countries = len(countries)
 	s.UniqueInterests = len(unique)
-	sort.Ints(sizes)
-	if len(sizes) > 0 {
-		s.MinProfile = sizes[0]
-		s.MaxProfile = sizes[len(sizes)-1]
-		mid := len(sizes) / 2
-		if len(sizes)%2 == 1 {
-			s.MedianProfile = float64(sizes[mid])
-		} else {
-			s.MedianProfile = float64(sizes[mid-1]+sizes[mid]) / 2
-		}
+	// One counting column serves min/median/max: profile sizes are small
+	// integers with heavy ties, so the compressed ECDF beats re-sorting the
+	// expansion per call, and its type-7 median is exact for integer data —
+	// odd lengths pick the middle value, even lengths give a + 0.5·(b−a),
+	// identical to the average of the two middle values.
+	if ecdf, err := stats.NewECDF(sizes); err == nil {
+		s.MinProfile = int(ecdf.Min())
+		s.MedianProfile = ecdf.InverseAt(0.5)
+		s.MaxProfile = int(ecdf.Max())
 	}
 	return s
 }

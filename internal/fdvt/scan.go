@@ -6,6 +6,7 @@ import (
 
 	"nanotarget/internal/parallel"
 	"nanotarget/internal/population"
+	"nanotarget/internal/stats"
 )
 
 // PanelRiskSummary aggregates §6 risk reports across a whole panel — the
@@ -24,6 +25,13 @@ type PanelRiskSummary struct {
 	UsersWithHigh int
 	// MaxHighPerUser is the largest number of red interests on one profile.
 	MaxHighPerUser int
+	// AudienceQ25, AudienceQ50 and AudienceQ75 are quartiles of the active
+	// scored audience sizes across the whole panel — where the user base
+	// sits relative to the §6 risk thresholds. Served from one stats.ECDF
+	// counting column (audience sizes repeat heavily across users, so the
+	// compressed column is far smaller than the sorted expansion); zero when
+	// no interests were scored.
+	AudienceQ25, AudienceQ50, AudienceQ75 float64
 }
 
 // ScanPanel builds the per-user §6 risk reports for every panel user against
@@ -64,6 +72,7 @@ func SummarizeRisk(reports []*RiskReport) PanelRiskSummary {
 		Users:   len(reports),
 		ByLevel: map[RiskLevel]int{},
 	}
+	var audiences []float64
 	for _, rep := range reports {
 		counts := rep.CountByLevel()
 		for lvl, n := range counts {
@@ -76,6 +85,16 @@ func SummarizeRisk(reports []*RiskReport) PanelRiskSummary {
 				sum.MaxHighPerUser = high
 			}
 		}
+		for _, e := range rep.entries {
+			if e.Active {
+				audiences = append(audiences, float64(e.Audience))
+			}
+		}
+	}
+	if ecdf, err := stats.NewECDF(audiences); err == nil {
+		sum.AudienceQ25 = ecdf.InverseAt(0.25)
+		sum.AudienceQ50 = ecdf.InverseAt(0.50)
+		sum.AudienceQ75 = ecdf.InverseAt(0.75)
 	}
 	return sum
 }

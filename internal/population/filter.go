@@ -1,0 +1,62 @@
+package population
+
+import "nanotarget/internal/geo"
+
+// IsZero reports whether the filter is the match-everyone zero value
+// (worldwide, all genders, all ages). A zero filter has DemoShare 1 and
+// Matches every user, so conditional audiences collapse to the worldwide
+// path byte-identically.
+func (f DemoFilter) IsZero() bool {
+	return len(f.Countries) == 0 && len(f.Genders) == 0 && f.AgeMin == 0 && f.AgeMax == 0
+}
+
+// Matches reports whether a concrete user falls inside the filter — the
+// panel-subsetting counterpart of DemoShare, which is the population-level
+// expectation of the same predicate. Appendix C group analysis derives both
+// its panel membership and its audience narrowing from one DemoFilter so the
+// numerator and denominator can never disagree.
+//
+// Semantics per axis:
+//
+//   - Countries: empty (or containing geo.Worldwide) matches everyone;
+//     otherwise the user's residence must be listed.
+//   - Genders: empty matches everyone; otherwise the user's declared gender
+//     must be listed. Note the asymmetry with genderShare, which treats
+//     undisclosed users as targetable by any gender filter (FB infers gender
+//     for delivery): Matches is strict because panel subsetting asks what a
+//     user declared, not whom an ad could reach.
+//   - Age: AgeMin/AgeMax bound inclusively; zero means unbounded. Users with
+//     undisclosed age (0) fall outside any filter with AgeMin > 0.
+func (f DemoFilter) Matches(u *User) bool {
+	if len(f.Countries) > 0 {
+		ok := false
+		for _, c := range f.Countries {
+			if c == geo.Worldwide || c == u.Country {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Genders) > 0 {
+		ok := false
+		for _, g := range f.Genders {
+			if g == u.Gender {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.AgeMin > 0 && u.Age < f.AgeMin {
+		return false
+	}
+	if f.AgeMax > 0 && u.Age > f.AgeMax {
+		return false
+	}
+	return true
+}

@@ -115,7 +115,11 @@ func (a *Admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		body.Error.Message = "Too many requests for ad account " + key
 		body.Error.Type = "AdmissionThrottled"
 		body.Error.Code = http.StatusTooManyRequests
-		body.Error.RetryAfterSeconds = retryAfter.Seconds()
+		// The body must advertise the same ceiled wait as the Retry-After
+		// header: the raw fractional wait is the time until ONE token
+		// accrues, so a client sleeping exactly that long raced the bucket
+		// boundary and was often rejected again on retry.
+		body.Error.RetryAfterSeconds = seconds
 		buf, _ := json.Marshal(body)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Retry-After", strconv.Itoa(int(seconds)))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -105,6 +106,62 @@ func TestAdmissionRejectShape(t *testing.T) {
 	st := a.Stats()
 	if st.Admitted != 3 || st.Rejected != 1 {
 		t.Fatalf("stats = %+v, want 3 admitted / 1 rejected", st)
+	}
+}
+
+// TestAdmissionBodyRetryAfterIsSufficient pins the body/header contract:
+// the JSON body's retry_after_seconds must equal the ceiled Retry-After
+// header value (the raw fractional wait let body-honoring clients retry too
+// early and get rejected again), and a client sleeping exactly the body's
+// advertised wait must be admitted on retry.
+func TestAdmissionBodyRetryAfterIsSufficient(t *testing.T) {
+	now := time.Unix(1650000000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	// A fractional refill rate so the raw wait (1/rate = 1.6s) differs from
+	// its ceiling: the regression this test pins.
+	a := NewAdmission(AdmissionConfig{Rate: 0.625, Burst: 1, Now: clock}, &okHandler{})
+	req := func() *http.Request { return httptest.NewRequest("GET", "/v9.0/act_9/reachestimate", nil) }
+
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("burst request rejected: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, req())
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("post-burst request admitted: %d", rec.Code)
+	}
+	header, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After header %q not whole seconds", rec.Header().Get("Retry-After"))
+	}
+	var body admissionError
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v", err)
+	}
+	if body.Error.RetryAfterSeconds != float64(header) {
+		t.Fatalf("body retry_after_seconds %v != Retry-After header %d — clients honoring the body retry too early",
+			body.Error.RetryAfterSeconds, header)
+	}
+	if body.Error.RetryAfterSeconds != math.Ceil(body.Error.RetryAfterSeconds) {
+		t.Fatalf("body retry_after_seconds %v is fractional", body.Error.RetryAfterSeconds)
+	}
+
+	// Sleeping exactly the advertised wait must suffice.
+	mu.Lock()
+	now = now.Add(time.Duration(body.Error.RetryAfterSeconds * float64(time.Second)))
+	mu.Unlock()
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, req())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry after sleeping the body's advertised %vs rejected: %d",
+			body.Error.RetryAfterSeconds, rec.Code)
 	}
 }
 

@@ -52,6 +52,13 @@ type ReachBackend interface {
 	// UnionShare returns the population share matching a flexible-spec
 	// union of interest conjunctions.
 	UnionShare(clauses [][]interest.ID) float64
+	// ConditionalAudience returns the §4.1 conditional audience expectation
+	// of a conjunction inside a demographic slice — 1 + max(0, Pop·demoShare
+	// − 1)·conjShare, the quantity the group-conditional Appendix C
+	// collection consumes. Sharded backends compose it from scatter-gathered
+	// shares: byte-identical to the local path at one shard, within the
+	// package's 1e-12 relative bound above it.
+	ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64
 	// AudienceStats snapshots the backend's audience-cache counters,
 	// aggregated across shards.
 	AudienceStats() audience.Stats
@@ -107,6 +114,12 @@ func (b *LocalBackend) DemoShare(f population.DemoFilter) float64 { return b.eng
 // UnionShare implements ReachBackend.
 func (b *LocalBackend) UnionShare(clauses [][]interest.ID) float64 {
 	return b.engine.UnionShare(clauses)
+}
+
+// ConditionalAudience implements ReachBackend via the engine's composite
+// (DemoFilter, conjunction) demo-level cache.
+func (b *LocalBackend) ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64 {
+	return b.engine.ExpectedAudienceConditional(f, ids)
 }
 
 // AudienceStats implements ReachBackend.

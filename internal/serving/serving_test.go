@@ -89,6 +89,15 @@ func TestShardedReachMatchesSingleWorld(t *testing.T) {
 				wantD := local.DemoShare(f)
 				gotD := sharded.DemoShare(f)
 				checkShare(t, "DemoShare", seed, shards, trial, gotD, wantD)
+
+				// The Appendix C group path: composite (filter, conjunction)
+				// audiences must agree shard-for-shard like the raw shares —
+				// byte-identical at one shard (same composition arithmetic
+				// over the same factor shares), reassociation-only above.
+				conj := clauses[0]
+				wantC := local.ConditionalAudience(f, conj)
+				gotC := sharded.ConditionalAudience(f, conj)
+				checkShare(t, "ConditionalAudience", seed, shards, trial, gotC, wantC)
 			}
 		}
 	}

@@ -129,6 +129,23 @@ func (b *ShardedBackend) UnionShare(clauses [][]interest.ID) float64 {
 	return b.scatterGather(func(s *shard) float64 { return s.engine.UnionShare(clauses) })
 }
 
+// ConditionalAudience implements ReachBackend: both factor shares are
+// scatter-gathered (each served from the shards' cached demo and conjunction
+// levels) and composed with the global population — the same
+// 1 + max(0, Pop·demoShare − 1)·conjShare arithmetic the local engine's
+// ExpectedAudienceConditional applies, so one shard reproduces the local
+// path byte-identically and more shards deviate only by the gathers'
+// reassociation.
+func (b *ShardedBackend) ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64 {
+	demo := b.scatterGather(func(s *shard) float64 { return s.engine.DemoShare(f) })
+	conj := b.scatterGather(func(s *shard) float64 { return s.engine.ConjunctionShare(ids) })
+	base := float64(b.pop)*demo - 1
+	if base < 0 {
+		base = 0
+	}
+	return 1 + base*conj
+}
+
 // AudienceStats implements ReachBackend: the fold of every shard's cache
 // counters.
 func (b *ShardedBackend) AudienceStats() audience.Stats {

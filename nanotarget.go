@@ -503,8 +503,32 @@ const (
 	ByCountry
 )
 
-// GroupUniqueness estimates N_P per demographic group.
+// GroupUniquenessOptions configures GroupUniquenessWithOptions.
+type GroupUniquenessOptions struct {
+	// P is the uniqueness probability (default 0.9, as in the paper).
+	P float64
+	// BootstrapIters per estimate (default 500).
+	BootstrapIters int
+	// WorldwideAudiences reproduces the legacy behaviour for comparison
+	// figures: the panel is still subset per group, but every audience query
+	// stays worldwide. The default (false) conditions each group's audiences
+	// on the group's own demographic filter through the audience engine's
+	// cached demo level — the Appendix C semantics.
+	WorldwideAudiences bool
+	// Parallelism overrides the world's worker knob for this analysis
+	// (0 = world default, 1 = sequential); results are byte-identical for
+	// any value.
+	Parallelism int
+}
+
+// GroupUniqueness estimates N_P per demographic group with the conditional
+// (group-filtered) audience semantics and default options.
 func (w *World) GroupUniqueness(g Grouping, p float64, bootstrapIters int) ([]GroupEstimate, error) {
+	return w.GroupUniquenessWithOptions(g, GroupUniquenessOptions{P: p, BootstrapIters: bootstrapIters})
+}
+
+// GroupUniquenessWithOptions estimates N_P per demographic group.
+func (w *World) GroupUniquenessWithOptions(g Grouping, opts GroupUniquenessOptions) ([]GroupEstimate, error) {
 	var groups []core.GroupFilter
 	switch g {
 	case ByGender:
@@ -516,17 +540,21 @@ func (w *World) GroupUniqueness(g Grouping, p float64, bootstrapIters int) ([]Gr
 	default:
 		return nil, errors.New("nanotarget: unknown grouping")
 	}
-	if bootstrapIters <= 0 {
-		bootstrapIters = 500
+	if opts.P <= 0 || opts.P >= 1 {
+		opts.P = 0.9
+	}
+	if opts.BootstrapIters <= 0 {
+		opts.BootstrapIters = 500
 	}
 	res, err := core.RunGroupAnalysis(w.panel.Users, core.NewEngineSource(w.audience), core.GroupConfig{
 		Groups:              groups,
 		Selectors:           []core.Selector{core.LeastPopular{}, core.Random{}},
-		P:                   p,
-		BootstrapIters:      bootstrapIters,
+		P:                   opts.P,
+		BootstrapIters:      opts.BootstrapIters,
 		Rand:                w.root.Derive("groups"),
-		Parallelism:         w.parallelism,
+		Parallelism:         w.workers(opts.Parallelism),
 		DisableColumnKernel: w.columnKernelOff,
+		WorldwideAudiences:  opts.WorldwideAudiences,
 	})
 	if err != nil {
 		return nil, err
