@@ -40,11 +40,17 @@ bench-uniqueness:
 # Serving-tier load baseline (the BENCH_serving.json baseline): the
 # cmd/fbadsload permuted-probe sweep — 400 advertiser accounts x 10 permuted
 # re-probes — replayed against the in-process serving stack at shards 1 and
-# 4. The recorded throughput ratio is host-dependent (scatter-gather only
-# wins with cores to scatter across); CI gates the fields being present,
-# not the ratio's value.
+# 4, plus the -proxy lane: the same flood through a real 2-process shard
+# topology behind the scatter-gather proxy (scripts/proxy_smoke.sh), which
+# also gates failover (renormalize keeps answering with a shard down, fail
+# 503s naming it) and records BENCH_serving_proxy.json. The recorded
+# throughput ratio is host-dependent (scatter-gather only wins with cores to
+# scatter across); CI gates the fields being present, not the ratio's value.
 bench-serving:
 	$(GO) run ./cmd/fbadsload -catalog 20000 -population 100000000 -accounts 400 -probes 10 -interests 18 -concurrency 8 -sweep 1,4 -json BENCH_serving.json
+	CATALOG=20000 POPULATION=100000000 ACCOUNTS=400 PROBES=10 INTERESTS=18 \
+		CONCURRENCY=8 OUT_JSON=BENCH_serving_proxy.json sh scripts/proxy_smoke.sh
+	rm -f BENCH_serving_proxy-degraded.json
 
 # Total-coverage gate: fails when coverage drops below COVERAGE_FLOOR.
 cover:

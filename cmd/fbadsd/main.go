@@ -15,9 +15,26 @@
 // -admit-rate puts per-ad-account admission control (HTTP 429 with
 // Retry-After) in front of the API, throttling the multi-account probe
 // floods cmd/fbadsload replays.
+//
+// Process sharding promotes that topology across processes:
+//
+//	fbadsd -shard-of 0/2 -shard-listen :9100 &   # shard 0's RPC server
+//	fbadsd -shard-of 1/2 -shard-listen :9101 &   # shard 1's RPC server
+//	fbadsd -proxy http://localhost:9100,http://localhost:9101 -degrade renormalize
+//
+// A -shard-of process builds only its slice of the world and serves the
+// shard RPC (/shard/v1/*) on -shard-listen — no Marketing API surface. A
+// -proxy process serves the full Marketing API by scatter-gathering those
+// shard servers; answers are byte-identical to the in-process -shards
+// topology while all shards are healthy. -degrade picks the failover
+// behaviour when probes (every -health-interval) find shards down: "fail"
+// answers 503 naming the dead shards, "renormalize" keeps serving from the
+// live shards with responses stamped "degraded": true. Every fbadsd in one
+// topology must run the same world flags (-seed/-catalog/-population/...).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +45,7 @@ import (
 	"nanotarget/internal/adsapi"
 	"nanotarget/internal/cliflags"
 	"nanotarget/internal/serving"
+	"nanotarget/internal/worldcfg"
 )
 
 func main() {
@@ -46,8 +64,26 @@ func main() {
 		shards     = flag.Int("shards", 1, "backend shards: split the population by user-ID range and serve reach by scatter-gather (1 = single-world backend)")
 		admitRate  = flag.Float64("admit-rate", 0, "per-ad-account admission limit in requests/second, enforced with 429 + Retry-After in front of the API (0 = no admission control)")
 		admitBurst = flag.Float64("admit-burst", 0, "admission token-bucket capacity (0 = 2x admit-rate)")
+
+		shardOf        = flag.String("shard-of", "", "serve one shard's RPC instead of the Marketing API: \"i/n\" builds shard i of an n-shard topology (listen address: -shard-listen)")
+		shardListen    = flag.String("shard-listen", ":9100", "listen address of the shard RPC server (only with -shard-of)")
+		proxyURLs      = flag.String("proxy", "", "comma-separated shard base URLs, in shard order: serve the Marketing API by scatter-gathering these shard processes (mutually exclusive with -shards > 1 and -shard-of)")
+		degrade        = flag.String("degrade", "fail", "proxy degradation policy when shards are down: fail (503 naming the dead shards) or renormalize (serve from live shards, responses stamped degraded)")
+		healthInterval = flag.Duration("health-interval", time.Second, "proxy health-probe period")
+		rpcTimeout     = flag.Duration("rpc-timeout", 10*time.Second, "per-shard-RPC timeout of the proxy")
 	)
 	flag.Parse()
+
+	if *shardOf != "" && *proxyURLs != "" {
+		log.Fatal("-shard-of and -proxy are mutually exclusive: a process is a shard or a proxy, not both")
+	}
+	if *proxyURLs != "" && *shards > 1 {
+		log.Fatal("-proxy and -shards > 1 are mutually exclusive: the proxy's shard count is len(-proxy)")
+	}
+	if *shardOf != "" {
+		runShard(*cfg, *shardOf, *shardListen)
+		return
+	}
 
 	var eraCfg adsapi.Era
 	switch *era {
@@ -66,9 +102,38 @@ func main() {
 		backend serving.ReachBackend
 		err     error
 	)
-	if *shards > 1 {
+	topology := fmt.Sprintf("%d in-process shard(s)", *shards)
+	switch {
+	case *proxyURLs != "":
+		policy, perr := serving.ParsePolicy(*degrade)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		urls := strings.Split(*proxyURLs, ",")
+		var proxy *serving.ProxyBackend
+		proxy, err = serving.NewProxyBackend(*cfg, serving.ProxyConfig{
+			URLs:          urls,
+			Timeout:       *rpcTimeout,
+			Policy:        policy,
+			ProbeInterval: *healthInterval,
+		})
+		if err == nil {
+			proxy.ProbeNow()
+			st := proxy.HealthStats()
+			if st.Down > 0 {
+				for _, sh := range st.Shards {
+					if !sh.Up {
+						log.Printf("shard %d (%s) down at startup: %s", sh.Shard, sh.URL, sh.LastError)
+					}
+				}
+			}
+			proxy.StartHealth(context.Background())
+			backend = proxy
+			topology = fmt.Sprintf("proxy over %d shard process(es), policy %s", len(urls), policy)
+		}
+	case *shards > 1:
 		backend, err = serving.NewShardedBackend(*cfg, *shards)
-	} else {
+	default:
 		backend, err = serving.NewLocalBackendFromConfig(*cfg)
 	}
 	if err != nil {
@@ -92,11 +157,33 @@ func main() {
 	if *admitRate > 0 {
 		handler = serving.NewAdmission(serving.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst}, srv)
 	}
-	log.Printf("world ready in %v: %d interests, %d users, %d shard(s), era %s, floor %d",
+	log.Printf("world ready in %v: %d interests, %d users, %s, era %s, floor %d",
 		time.Since(start).Round(time.Millisecond), backend.Catalog().Len(), backend.Population(),
-		*shards, eraCfg.Name, eraCfg.MinReach)
+		topology, eraCfg.Name, eraCfg.MinReach)
 	log.Printf("listening on %s", *addr)
 	fmt.Printf("try: curl '%s/v9.0/act_1/reachestimate?targeting_spec=%s'\n",
 		"http://localhost"+*addr, `{"geo_locations":{"countries":["ES"]}}`)
 	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// runShard builds shard i of n and serves its RPC on listen.
+func runShard(cfg worldcfg.Config, spec, listen string) {
+	var index, count int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &index, &count); err != nil {
+		log.Fatalf("-shard-of %q: want i/n (e.g. 0/2)", spec)
+	}
+	start := time.Now()
+	backend, info, err := serving.NewShardBackend(cfg, index, count)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serving.NewShardServer(backend, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shard %d/%d ready in %v: users [%d, %d) of %d, %d interests",
+		index, count, time.Since(start).Round(time.Millisecond),
+		info.Range.Lo, info.Range.Hi, info.TotalPopulation, backend.Catalog().Len())
+	log.Printf("shard RPC listening on %s", listen)
+	log.Fatal(http.ListenAndServe(listen, srv))
 }

@@ -64,12 +64,16 @@ func main() {
 		token       = flag.String("token", "", "access token sent with every request (and required by the in-process server when set)")
 		prewarm     = flag.Bool("prewarm-rows", false, "materialize the inclusion-row table before the run starts")
 		jsonOut     = flag.String("json", "", "write the run (or sweep) as a BENCH_serving.json baseline to this path")
+		note        = flag.String("note", "", "free-form label recorded in the JSON baseline and printed with each run (e.g. \"proxy 2-process topology\")")
 	)
 	flag.Parse()
 
 	eraCfg, err := parseEra(*era)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *note != "" {
+		log.Printf("note: %s", *note)
 	}
 	sweep := []int{*shards}
 	if *sweepFlag != "" {
@@ -180,6 +184,9 @@ func main() {
 		"results":          results,
 		"throughput_ratio": ratio,
 	}
+	if *note != "" {
+		baseline["note"] = *note
+	}
 	f, err := os.Create(*jsonOut)
 	if err != nil {
 		log.Fatal(err)
@@ -197,8 +204,12 @@ func main() {
 
 func printRun(shards int, res loadgen.Result, target string) {
 	fmt.Printf("shards=%d against %s\n", shards, target)
-	fmt.Printf("  %d requests in %v: %d ok, %d admission-rejected (429), %d rate-limited (code 17), %d errors\n",
-		res.Requests, res.Duration.Round(time.Millisecond), res.OK, res.Rejected, res.RateLimited, res.Errors)
+	degraded := ""
+	if res.Degraded > 0 {
+		degraded = fmt.Sprintf(" (%d degraded)", res.Degraded)
+	}
+	fmt.Printf("  %d requests in %v: %d ok%s, %d admission-rejected (429), %d rate-limited (code 17), %d errors\n",
+		res.Requests, res.Duration.Round(time.Millisecond), res.OK, degraded, res.Rejected, res.RateLimited, res.Errors)
 	fmt.Printf("  throughput %.1f req/s, latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
 		res.Throughput, res.P50Ms, res.P95Ms, res.P99Ms)
 }

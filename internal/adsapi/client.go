@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -85,16 +86,22 @@ func (c *Client) endpoint(path string, query url.Values) string {
 }
 
 // do performs one request with retries on transient failures and decodes
-// the JSON body into out.
+// the JSON body into out. Retryable: network errors, 5xx, HTTP 429 (the
+// serving tier's admission control — the wait honors its Retry-After
+// header), and FB error 17 bodies (the classic per-token rate limit). Other
+// API errors are permanent.
 func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, out any) error {
 	var lastErr error
+	var wait time.Duration
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			backoff := c.cfg.RetryBase << (attempt - 1)
-			if err := c.cfg.Sleep(ctx, backoff); err != nil {
+			if err := c.cfg.Sleep(ctx, wait); err != nil {
 				return err
 			}
 		}
+		// Default backoff for whatever failure this attempt hits; a
+		// Retry-After header overrides it below.
+		wait = c.cfg.RetryBase << attempt
 		var rdr io.Reader
 		if body != nil {
 			rdr = bytes.NewReader(body)
@@ -121,6 +128,20 @@ func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, out
 			lastErr = fmt.Errorf("adsapi: server error %d", resp.StatusCode)
 			continue
 		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Admission throttling: always retryable regardless of the body's
+			// error code, waiting as long as the server advertises.
+			if ra := retryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+				wait = ra
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
+				lastErr = env.Error
+			} else {
+				lastErr = fmt.Errorf("adsapi: HTTP 429: %s", truncateBody(data))
+			}
+			continue
+		}
 		if resp.StatusCode != http.StatusOK {
 			var env errorEnvelope
 			if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
@@ -141,6 +162,19 @@ func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, out
 		return nil
 	}
 	return fmt.Errorf("adsapi: retries exhausted: %w", lastErr)
+}
+
+// retryAfter parses a Retry-After header's delay-seconds form. Zero means
+// absent/unparseable (HTTP-date forms are not emitted by this simulator).
+func retryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func truncateBody(b []byte) string {

@@ -177,8 +177,27 @@ func (s *Server) requireAccount(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. ReachBackend's share methods have no
+// error returns, so a network-sharded backend (serving.ProxyBackend) signals
+// an unservable topology by panicking with *serving.UnavailableError; the
+// recovery here turns that into a 503 whose JSON body names the down shards.
+// Handlers compute estimates before writing any response bytes, so the
+// recovery always finds an unwritten ResponseWriter.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ue, ok := rec.(*serving.UnavailableError)
+			if !ok {
+				panic(rec)
+			}
+			s.writeError(w, http.StatusServiceUnavailable, &APIError{
+				Code: CodeServiceUnavailable, Type: "ApiUnknownException",
+				Message: fmt.Sprintf("Service temporarily unavailable: %d shard(s) down: %s",
+					len(ue.Down), strings.Join(ue.Down, ", "))})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Era returns the platform rules in force.
 func (s *Server) Era() Era { return s.era }
@@ -347,7 +366,17 @@ func (s *Server) handleReachEstimate(w http.ResponseWriter, r *http.Request) {
 			Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
 		return
 	}
-	s.writeJSON(w, reachResponse{Data: ReachEstimate{Users: reach, EstimateReady: true}})
+	s.writeJSON(w, reachResponse{Data: ReachEstimate{Users: reach, EstimateReady: true},
+		Degraded: s.backendDegraded()})
+}
+
+// backendDegraded reports whether the backend is serving renormalized
+// (approximate) answers — true only for a proxy backend with shards down
+// under the renormalize policy. Local and in-process sharded backends never
+// degrade.
+func (s *Server) backendDegraded() bool {
+	d, ok := s.backend.(interface{ Degraded() bool })
+	return ok && d.Degraded()
 }
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {

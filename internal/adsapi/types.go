@@ -238,6 +238,10 @@ const (
 	// account (which happened to the authors days after the experiment,
 	// §8.2).
 	CodeAccountDisabled = 368
+	// CodeServiceUnavailable mirrors FB error 2 (service temporarily
+	// unavailable) — emitted as a 503 when the serving backend has shards
+	// down under the fail policy; the message names the down shards.
+	CodeServiceUnavailable = 2
 )
 
 // IsRateLimited reports whether err is the API's rate-limit error.
@@ -260,6 +264,10 @@ type ReachEstimate struct {
 // reachResponse wraps ReachEstimate as the API returns it.
 type reachResponse struct {
 	Data ReachEstimate `json:"data"`
+	// Degraded marks estimates served by a proxy backend running with shards
+	// down under the renormalize policy: the number is an approximation from
+	// the live shards' renormalized weights, not the full-topology answer.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SearchResult is one row of the adinterest search endpoint.

@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjectedFault is the transport error FlakyTransport returns for the
+// requests it drops.
+var ErrInjectedFault = errors.New("loadgen: injected transport fault")
+
+// FlakyTransport is an http.RoundTripper that deterministically fails a
+// fraction of requests before they reach the network — fault injection for
+// failover tests (a proxy losing RPCs, a load run losing requests) without
+// real sockets or timing. With FailEvery = n, every n-th round trip (the
+// n-th, 2n-th, ...) fails with ErrInjectedFault; the rest are delegated.
+// A FailPred takes precedence when set, failing exactly the requests it
+// matches. The zero value delegates everything.
+type FlakyTransport struct {
+	// Base performs the real round trips (default
+	// http.DefaultTransport).
+	Base http.RoundTripper
+	// FailEvery fails every n-th request when > 0 (counted across all
+	// goroutines, starting at the FailEvery-th).
+	FailEvery int64
+	// FailPred, when non-nil, selects the requests to fail and disables
+	// the FailEvery counter.
+	FailPred func(*http.Request) bool
+
+	calls  atomic.Int64
+	mu     sync.Mutex
+	failed int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	fail := false
+	switch {
+	case t.FailPred != nil:
+		fail = t.FailPred(r)
+	case t.FailEvery > 0:
+		fail = t.calls.Add(1)%t.FailEvery == 0
+	}
+	if fail {
+		t.mu.Lock()
+		t.failed++
+		t.mu.Unlock()
+		return nil, ErrInjectedFault
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(r)
+}
+
+// Failed reports how many round trips the transport has faulted.
+func (t *FlakyTransport) Failed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}

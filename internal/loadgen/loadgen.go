@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strings"
@@ -78,8 +79,9 @@ type Config struct {
 type Result struct {
 	Requests    int           `json:"requests"`
 	OK          int           `json:"ok"`
-	Rejected    int           `json:"rejected"`     // HTTP 429 from admission control
-	RateLimited int           `json:"rate_limited"` // FB error code 17 (per-token limiter)
+	Degraded    int           `json:"degraded,omitempty"` // OK responses stamped "degraded": true (proxy renormalize)
+	Rejected    int           `json:"rejected"`           // HTTP 429 from admission control
+	RateLimited int           `json:"rate_limited"`       // FB error code 17 (per-token limiter)
 	Errors      int           `json:"errors"`
 	Duration    time.Duration `json:"-"`
 	DurationMs  float64       `json:"duration_ms"`
@@ -126,8 +128,14 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	urls := probeURLs(cfg, sets)
 
 	n := len(urls)
+	// Latency slots start as NaN sentinels: only requests that actually got
+	// an HTTP response record a latency, so a request that failed to build
+	// or errored in transport cannot drag the quantiles toward zero.
 	latencies := make([]float64, n)
-	var ok, rejected, rateLimited, failed atomic.Int64
+	for i := range latencies {
+		latencies[i] = math.NaN()
+	}
+	var ok, degraded, rejected, rateLimited, failed atomic.Int64
 	start := time.Now()
 	err := parallel.ForEach(ctx, n, parallel.Workers(cfg.Concurrency), func(i int) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, urls[i], nil)
@@ -137,16 +145,19 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		}
 		t0 := time.Now()
 		resp, err := client.Do(req)
-		latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 		if err != nil {
 			failed.Add(1)
 			return nil
 		}
+		latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		switch classify(resp.StatusCode, body) {
 		case outcomeOK:
 			ok.Add(1)
+			if isDegraded(body) {
+				degraded.Add(1)
+			}
 		case outcomeRejected:
 			rejected.Add(1)
 		case outcomeRateLimited:
@@ -164,6 +175,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res := Result{
 		Requests:    n,
 		OK:          int(ok.Load()),
+		Degraded:    int(degraded.Load()),
 		Rejected:    int(rejected.Load()),
 		RateLimited: int(rateLimited.Load()),
 		Errors:      int(failed.Load()),
@@ -173,10 +185,25 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if elapsed > 0 {
 		res.Throughput = float64(n) / elapsed.Seconds()
 	}
-	res.P50Ms, _ = stats.Quantile(latencies, 0.50)
-	res.P95Ms, _ = stats.Quantile(latencies, 0.95)
-	res.P99Ms, _ = stats.Quantile(latencies, 0.99)
+	answered := latencies[:0]
+	for _, l := range latencies {
+		if !math.IsNaN(l) {
+			answered = append(answered, l)
+		}
+	}
+	res.P50Ms, _ = stats.Quantile(answered, 0.50)
+	res.P95Ms, _ = stats.Quantile(answered, 0.95)
+	res.P99Ms, _ = stats.Quantile(answered, 0.99)
 	return res, nil
+}
+
+// isDegraded reports whether a 200 body carries the proxy's renormalize
+// stamp ("degraded": true on reach responses served with shards down).
+func isDegraded(body []byte) bool {
+	var resp struct {
+		Degraded bool `json:"degraded"`
+	}
+	return json.Unmarshal(body, &resp) == nil && resp.Degraded
 }
 
 // accountSets draws each account's fixed interest set: Interests distinct

@@ -4,7 +4,9 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"nanotarget/internal/adsapi"
 	"nanotarget/internal/interest"
@@ -134,5 +136,96 @@ func TestWorkloadDeterminism(t *testing.T) {
 	}
 	if same {
 		t.Fatal("distinct accounts drew identical interest sets")
+	}
+}
+
+// TestRunQuantilesExcludeUnansweredRequests is the quantile bugfix's
+// regression test: requests that never received a response (here, half the
+// load faulted by a FlakyTransport before reaching the wire) must not
+// contribute zero-latency samples. Against a deliberately slow handler the
+// old behavior dragged p50 to ~0; the fix computes quantiles over answered
+// requests only, so every percentile sits at or above the handler's floor.
+func TestRunQuantilesExcludeUnansweredRequests(t *testing.T) {
+	const floor = 20 * time.Millisecond
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(floor)
+		w.Write([]byte(`{"data": {"users": 20, "estimate_ready": true}}`))
+	}))
+	defer slow.Close()
+
+	flaky := &FlakyTransport{FailEvery: 2} // drop every 2nd request instantly
+	res, err := Run(context.Background(), Config{
+		BaseURL:          slow.URL,
+		Accounts:         4,
+		ProbesPerAccount: 4,
+		Interests:        3,
+		CatalogSize:      300,
+		Concurrency:      4,
+		Seed:             3,
+		Client:           &http.Client{Transport: flaky},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 16 {
+		t.Fatalf("Requests = %d, want 16", res.Requests)
+	}
+	if res.Errors != 8 || res.OK != 8 {
+		t.Fatalf("expected 8 faulted / 8 answered, got %+v", res)
+	}
+	if flaky.Failed() != 8 {
+		t.Fatalf("transport faulted %d, want 8", flaky.Failed())
+	}
+	floorMs := float64(floor) / float64(time.Millisecond)
+	for name, q := range map[string]float64{"p50": res.P50Ms, "p95": res.P95Ms, "p99": res.P99Ms} {
+		if q < floorMs {
+			t.Fatalf("%s = %.2fms below the %.0fms handler floor — unanswered requests polluted the quantiles (%+v)",
+				name, q, floorMs, res)
+		}
+	}
+}
+
+// TestFlakyTransportPred covers the predicate mode: only matching requests
+// fault.
+func TestFlakyTransportPred(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ok.Close()
+	tr := &FlakyTransport{FailPred: func(r *http.Request) bool {
+		return strings.Contains(r.URL.Path, "act_2")
+	}}
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(ok.URL + "/v9.0/act_1/reachestimate"); err != nil {
+		t.Fatalf("unmatched request faulted: %v", err)
+	}
+	if _, err := client.Get(ok.URL + "/v9.0/act_2/reachestimate"); err == nil {
+		t.Fatal("matched request not faulted")
+	}
+	if tr.Failed() != 1 {
+		t.Fatalf("Failed() = %d, want 1", tr.Failed())
+	}
+}
+
+// TestRunCountsDegradedResponses: 200s stamped "degraded": true (the proxy's
+// renormalize mode) are counted OK and tallied in Result.Degraded.
+func TestRunCountsDegradedResponses(t *testing.T) {
+	degraded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"data": {"users": 20, "estimate_ready": true}, "degraded": true}`))
+	}))
+	defer degraded.Close()
+	res, err := Run(context.Background(), Config{
+		BaseURL:          degraded.URL,
+		Accounts:         2,
+		ProbesPerAccount: 3,
+		Interests:        3,
+		CatalogSize:      300,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 6 || res.Degraded != 6 || res.Errors != 0 {
+		t.Fatalf("degraded tally wrong: %+v", res)
 	}
 }

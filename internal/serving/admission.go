@@ -27,10 +27,14 @@ type AdmissionConfig struct {
 	Now func() time.Time
 }
 
-// AdmissionStats counts admission decisions.
+// AdmissionStats counts admission decisions and bucket-table churn.
 type AdmissionStats struct {
 	Admitted int64
 	Rejected int64
+	// Buckets is the live bucket count; Evicted counts buckets dropped by
+	// the idle sweep. Their sum over time tracks distinct accounts seen.
+	Buckets int64
+	Evicted int64
 }
 
 // Admission is an http.Handler that applies per-account token buckets in
@@ -41,9 +45,10 @@ type Admission struct {
 	cfg  AdmissionConfig
 	next http.Handler
 
-	mu      sync.Mutex
-	buckets map[string]*admissionBucket
-	stats   AdmissionStats
+	mu        sync.Mutex
+	buckets   map[string]*admissionBucket
+	lastSweep time.Time
+	stats     AdmissionStats
 }
 
 type admissionBucket struct {
@@ -95,7 +100,9 @@ func AccountKey(r *http.Request) string {
 func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.stats
+	st := a.stats
+	st.Buckets = int64(len(a.buckets))
+	return st
 }
 
 // ServeHTTP admits or rejects, then delegates.
@@ -136,6 +143,7 @@ func (a *Admission) admit(key string) (retryAfter time.Duration, ok bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	now := a.cfg.Now()
+	a.sweep(now)
 	b, exists := a.buckets[key]
 	if !exists {
 		b = &admissionBucket{tokens: a.cfg.Burst, last: now}
@@ -154,4 +162,31 @@ func (a *Admission) admit(key string) (retryAfter time.Duration, ok bool) {
 	b.tokens--
 	a.stats.Admitted++
 	return 0, true
+}
+
+// refillPeriod is how long an empty bucket takes to refill to Burst — the
+// point past which an idle bucket is indistinguishable from a fresh one.
+func (a *Admission) refillPeriod() time.Duration {
+	return time.Duration(a.cfg.Burst / a.cfg.Rate * float64(time.Second))
+}
+
+// sweep evicts buckets idle for at least a full refill period: such a bucket
+// has refilled to Burst, which is exactly the state admit() creates for an
+// unknown key, so dropping it cannot change any admission decision. The
+// unbounded alternative is a real leak — one bucket per ad account forever
+// is the memory cost of the precise many-accounts flood admission defends
+// against. Sweeping at most once per refill period amortizes the full-map
+// scan to O(1) per request. Caller holds a.mu.
+func (a *Admission) sweep(now time.Time) {
+	period := a.refillPeriod()
+	if now.Sub(a.lastSweep) < period {
+		return
+	}
+	a.lastSweep = now
+	for key, b := range a.buckets {
+		if now.Sub(b.last) >= period {
+			delete(a.buckets, key)
+			a.stats.Evicted++
+		}
+	}
 }

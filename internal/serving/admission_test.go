@@ -241,3 +241,134 @@ func TestAdmissionConcurrentAccounts(t *testing.T) {
 		t.Fatalf("inner handler served %d, admission admitted %d", inner.served.Load(), totalAdmitted)
 	}
 }
+
+// TestAdmissionEvictsIdleBuckets is the memory-leak regression test: the
+// many-accounts flood must not leave one bucket per ad account forever.
+// Buckets idle for a full refill period (Burst/Rate seconds — long enough to
+// be full again, so eviction cannot change any admission decision) are
+// swept; recently active buckets survive; and an evicted account's next
+// request behaves exactly like a fresh account's.
+func TestAdmissionEvictsIdleBuckets(t *testing.T) {
+	now := time.Unix(1710000000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	// Refill period = Burst/Rate = 4/2 = 2s.
+	a := NewAdmission(AdmissionConfig{Rate: 2, Burst: 4, Now: clock}, &okHandler{})
+	hit := func(acc int) int {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v9.0/act_%d/reachestimate", acc), nil))
+		return rec.Code
+	}
+
+	// A flood of 100 distinct accounts populates 100 buckets.
+	for acc := 1; acc <= 100; acc++ {
+		if hit(acc) != http.StatusOK {
+			t.Fatalf("account %d first request rejected", acc)
+		}
+	}
+	if st := a.Stats(); st.Buckets != 100 {
+		t.Fatalf("expected 100 live buckets after the flood, got %+v", st)
+	}
+
+	// One account stays active across the idle window; the other 99 go
+	// quiet. After a full refill period the next admit sweeps them.
+	advance(time.Second)
+	hit(1)
+	advance(1500 * time.Millisecond) // account 1 idle 1.5s < 2s, others 2.5s
+	if hit(101) != http.StatusOK {
+		t.Fatal("fresh account rejected")
+	}
+	st := a.Stats()
+	if st.Evicted != 99 {
+		t.Fatalf("expected the 99 idle buckets evicted, got %+v", st)
+	}
+	// Survivors: account 1 (recently active) and account 101 (just added).
+	if st.Buckets != 2 {
+		t.Fatalf("expected 2 live buckets, got %+v", st)
+	}
+
+	// Eviction must be behavior-invisible: a swept account is re-admitted
+	// with a full burst, exactly like a fresh one.
+	for i := 0; i < 4; i++ {
+		if hit(50) != http.StatusOK {
+			t.Fatalf("evicted account burst request %d rejected", i)
+		}
+	}
+	if hit(50) != http.StatusTooManyRequests {
+		t.Fatal("evicted account exceeded a fresh burst without rejection")
+	}
+}
+
+// TestAdmissionSweepPreservesThrottling pins that the sweep never evicts a
+// still-refilling bucket: an account rejected mid-refill stays throttled
+// across a sweep triggered by other traffic.
+func TestAdmissionSweepPreservesThrottling(t *testing.T) {
+	now := time.Unix(1720000000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	// Refill period = 10/1 = 10s.
+	a := NewAdmission(AdmissionConfig{Rate: 1, Burst: 10, Now: clock}, &okHandler{})
+	hit := func(acc int) int {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v9.0/act_%d/reachestimate", acc), nil))
+		return rec.Code
+	}
+
+	// t0: anchor the sweep clock, then drain account 1's burst.
+	hit(2)
+	for i := 0; i < 10; i++ {
+		if hit(1) != http.StatusOK {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if hit(1) != http.StatusTooManyRequests {
+		t.Fatal("drained account admitted")
+	}
+
+	// t0+6s: account 1 spends one of its 6 accrued tokens (5 left pending,
+	// bucket last-touched now).
+	advance(6 * time.Second)
+	if hit(1) != http.StatusOK {
+		t.Fatal("mid-refill request rejected")
+	}
+
+	// t0+10s: other traffic triggers a sweep (a full period since the
+	// anchor). Account 1 was touched 4s ago — mid-refill — so its bucket
+	// must survive with its partial token count, not be reset to a full
+	// burst.
+	advance(4 * time.Second)
+	hit(2)
+	// Account 2's t0 bucket was idle the full period — legitimately swept
+	// (and immediately recreated by this request). Account 1's must not be.
+	if st := a.Stats(); st.Evicted != 1 {
+		t.Fatalf("expected exactly account 2's idle bucket evicted: %+v", st)
+	}
+	// 5 pending + 4 newly accrued = 9 admits before throttling; a reset
+	// bucket would allow 10.
+	for i := 0; i < 9; i++ {
+		if hit(1) != http.StatusOK {
+			t.Fatalf("mid-refill request %d rejected (bucket lost its refill)", i)
+		}
+	}
+	if hit(1) != http.StatusTooManyRequests {
+		t.Fatal("drained account admitted past its refill — eviction reset the bucket")
+	}
+}

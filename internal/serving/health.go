@@ -1,0 +1,278 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Policy selects how a ProxyBackend behaves when shards are unreachable.
+type Policy int
+
+const (
+	// PolicyFail refuses to serve while any shard is down: share methods
+	// panic with *UnavailableError (the HTTP tier turns it into a 503 whose
+	// JSON body names the down shards). This is the exactness-preserving
+	// policy — a served answer is always the full-topology answer.
+	PolicyFail Policy = iota
+	// PolicyRenormalize keeps serving from the live shards with their
+	// weights renormalized to sum to one. Answers are approximations of the
+	// full-topology share (exact only if the dead shards' shares equal the
+	// live average), so HTTP responses are stamped "degraded": true.
+	PolicyRenormalize
+)
+
+// ParsePolicy maps the CLI spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fail":
+		return PolicyFail, nil
+	case "renormalize":
+		return PolicyRenormalize, nil
+	}
+	return 0, fmt.Errorf("serving: unknown degradation policy %q (want fail or renormalize)", s)
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == PolicyRenormalize {
+		return "renormalize"
+	}
+	return "fail"
+}
+
+// UnavailableError reports that the proxy cannot serve: under PolicyFail any
+// down shard triggers it; under PolicyRenormalize only losing every shard
+// does. ReachBackend's share methods have no error returns (local backends
+// cannot fail), so ProxyBackend panics with this type and HTTP tiers recover
+// it into a 503 response naming the down shards (adsapi.Server.ServeHTTP).
+type UnavailableError struct {
+	// Down lists the unreachable shards' base URLs.
+	Down []string
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("serving: backend unavailable: %d shard(s) down: %s",
+		len(e.Down), strings.Join(e.Down, ", "))
+}
+
+// ShardHealth is one shard's probe state.
+type ShardHealth struct {
+	Shard      int       `json:"shard"`
+	URL        string    `json:"url"`
+	Up         bool      `json:"up"`
+	LastError  string    `json:"last_error,omitempty"`
+	LastProbe  time.Time `json:"last_probe"`
+	LastChange time.Time `json:"last_change"`
+}
+
+// HealthStats snapshots the proxy's view of the topology.
+type HealthStats struct {
+	Up     int           `json:"up"`
+	Down   int           `json:"down"`
+	Rounds int64         `json:"rounds"` // completed probe rounds
+	Shards []ShardHealth `json:"shards"`
+}
+
+// healthMonitor tracks per-shard up/down state for a ProxyBackend. Shards
+// start up (optimistic): a dead shard is discovered by the first probe round
+// or the first scatter that fails against it, whichever comes first. A down
+// shard rejoins ONLY through a successful health probe — the data path never
+// resurrects a shard, so failover behaviour is a function of probe cadence,
+// not query traffic.
+type healthMonitor struct {
+	now func() time.Time
+
+	mu     sync.Mutex
+	shards []shardHealthState
+	rounds int64
+}
+
+type shardHealthState struct {
+	url        string
+	up         bool
+	lastErr    string
+	lastProbe  time.Time
+	lastChange time.Time
+}
+
+func newHealthMonitor(urls []string, now func() time.Time) *healthMonitor {
+	h := &healthMonitor{now: now, shards: make([]shardHealthState, len(urls))}
+	t := now()
+	for i, u := range urls {
+		h.shards[i] = shardHealthState{url: u, up: true, lastChange: t}
+	}
+	return h
+}
+
+// downShards returns the down flags (indexed by shard) and the down shards'
+// URLs, as one consistent snapshot.
+func (h *healthMonitor) downShards() (down []bool, urls []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	down = make([]bool, len(h.shards))
+	for i, s := range h.shards {
+		if !s.up {
+			down[i] = true
+			urls = append(urls, s.url)
+		}
+	}
+	return down, urls
+}
+
+func (h *healthMonitor) anyDown() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.shards {
+		if !s.up {
+			return true
+		}
+	}
+	return false
+}
+
+// markDown records a shard failure (probe or data path).
+func (h *healthMonitor) markDown(i int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &h.shards[i]
+	now := h.now()
+	s.lastProbe = now
+	s.lastErr = err.Error()
+	if s.up {
+		s.up = false
+		s.lastChange = now
+	}
+}
+
+// markUp records a successful probe.
+func (h *healthMonitor) markUp(i int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &h.shards[i]
+	now := h.now()
+	s.lastProbe = now
+	s.lastErr = ""
+	if !s.up {
+		s.up = true
+		s.lastChange = now
+	}
+}
+
+func (h *healthMonitor) snapshot() HealthStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HealthStats{Rounds: h.rounds, Shards: make([]ShardHealth, len(h.shards))}
+	for i, s := range h.shards {
+		st.Shards[i] = ShardHealth{
+			Shard: i, URL: s.url, Up: s.up, LastError: s.lastErr,
+			LastProbe: s.lastProbe, LastChange: s.lastChange,
+		}
+		if s.up {
+			st.Up++
+		} else {
+			st.Down++
+		}
+	}
+	return st
+}
+
+// HealthStats snapshots per-shard up/down state, last errors and probe
+// bookkeeping (timestamps come from the injectable clock).
+func (p *ProxyBackend) HealthStats() HealthStats { return p.health.snapshot() }
+
+// Degraded reports whether the proxy is currently serving renormalized
+// answers: PolicyRenormalize with at least one shard down. The adsapi server
+// stamps reach responses "degraded": true while this holds.
+func (p *ProxyBackend) Degraded() bool {
+	return p.policy == PolicyRenormalize && p.health.anyDown()
+}
+
+// ProbeNow runs one synchronous health-probe round: every shard's
+// /shard/v1/health endpoint is fetched (in parallel, under the probe
+// timeout) and its identity — shard index, shard count, catalog size, total
+// population — is checked against the proxy's own configuration, so a shard
+// serving the wrong world is treated as down rather than silently folded in.
+// Tests drive failover deterministically by calling ProbeNow directly;
+// production uses StartHealth.
+func (p *ProxyBackend) ProbeNow() {
+	var wg sync.WaitGroup
+	for i := range p.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.probeShard(i); err != nil {
+				p.health.markDown(i, err)
+			} else {
+				p.health.markUp(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.health.mu.Lock()
+	p.health.rounds++
+	p.health.mu.Unlock()
+}
+
+// probeShard fetches and verifies one shard's health endpoint.
+func (p *ProxyBackend) probeShard(i int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.urls[i]+shardPathHealth, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health probe: HTTP %d", resp.StatusCode)
+	}
+	var info ShardHealthInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return fmt.Errorf("health probe: bad body: %w", err)
+	}
+	switch {
+	case info.Status != "ok":
+		return fmt.Errorf("health probe: status %q", info.Status)
+	case info.Shard != i || info.Shards != len(p.urls):
+		return fmt.Errorf("health probe: identity mismatch: shard %d/%d, proxy expects %d/%d",
+			info.Shard, info.Shards, i, len(p.urls))
+	case info.CatalogSize != p.catalog.Len():
+		return fmt.Errorf("health probe: catalog size %d, proxy world has %d", info.CatalogSize, p.catalog.Len())
+	case info.TotalPopulation != p.pop:
+		return fmt.Errorf("health probe: total population %d, proxy world has %d", info.TotalPopulation, p.pop)
+	}
+	return nil
+}
+
+// StartHealth launches the periodic probe loop: one ProbeNow per interval
+// until ctx is cancelled. The loop runs on the wall clock (time.Ticker); the
+// injectable clock only stamps the recorded state, so deterministic tests
+// skip StartHealth and call ProbeNow themselves.
+func (p *ProxyBackend) StartHealth(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(p.probeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeNow()
+			}
+		}
+	}()
+}

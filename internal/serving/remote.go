@@ -1,0 +1,682 @@
+// Process-sharded serving: the network topology behind `fbadsd -shard-of` /
+// `-proxy`. A ShardServer exposes one shard's reach primitives over a small
+// JSON-over-HTTP RPC; a ProxyBackend implements ReachBackend by
+// scatter-gathering those RPCs across N shard processes with per-RPC
+// timeouts, bounded retry, and health-checked degradation (health.go).
+//
+// # Exactness
+//
+// The proxy folds per-shard shares exactly like the in-process
+// ShardedBackend: weight_s · share_s summed in shard-index order, with the
+// same single-shard short-circuit. A shard process builds its model with the
+// same range arithmetic and share-based calibration (NewShardBackend ==
+// ShardedBackend's per-shard construction), so its shares are bit-identical
+// to the in-process shard's; and Go's encoding/json round-trips float64
+// exactly (shortest-representation encoding, exact parse), so the wire adds
+// no error. Healthy-topology proxy answers are therefore byte-identical to
+// ShardedBackend at the same shard split — property-gated in remote_test.go
+// over shards {1,2,3} × seeds {0,1,42}.
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"nanotarget/internal/audience"
+	"nanotarget/internal/interest"
+	"nanotarget/internal/parallel"
+	"nanotarget/internal/population"
+	"nanotarget/internal/worldcfg"
+)
+
+// Shard RPC paths (all rooted under /shard/v1).
+const (
+	shardPathHealth = "/shard/v1/health"
+	shardPathDemo   = "/shard/v1/demoshare"
+	shardPathUnion  = "/shard/v1/unionshare"
+	shardPathConj   = "/shard/v1/conjunctionshare"
+	shardPathCond   = "/shard/v1/conditionalaudience"
+	shardPathStats  = "/shard/v1/stats"
+	shardPathWarm   = "/shard/v1/warmrows"
+)
+
+// ShardHealthInfo is the health endpoint's payload: enough identity for the
+// proxy to verify the shard serves the same world at the same split before
+// folding its shares in (ProbeNow rejects mismatches as down).
+type ShardHealthInfo struct {
+	Status string `json:"status"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	Lo     int64  `json:"lo"`
+	Hi     int64  `json:"hi"`
+	// Population is the shard-local model population (Hi - Lo).
+	Population int64 `json:"population"`
+	// TotalPopulation is the whole topology's user base.
+	TotalPopulation int64 `json:"total_population"`
+	CatalogSize     int   `json:"catalog_size"`
+}
+
+// shardShareRequest is the request body shared by the share endpoints; each
+// endpoint reads the fields it needs.
+type shardShareRequest struct {
+	Filter  *population.DemoFilter `json:"filter,omitempty"`
+	Clauses [][]interest.ID        `json:"clauses,omitempty"`
+	IDs     []interest.ID          `json:"ids,omitempty"`
+	// Population overrides the composition population for
+	// /conditionalaudience (a single-shard deployment serves the global
+	// quantity by passing the topology population). Zero composes over the
+	// shard-local model population.
+	Population int64 `json:"population,omitempty"`
+}
+
+type shardShareResponse struct {
+	Share float64 `json:"share"`
+}
+
+type shardErrorBody struct {
+	Error struct {
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// ShardInfo identifies a shard inside its topology.
+type ShardInfo struct {
+	// Index is the shard's position in [0, Count).
+	Index int
+	// Count is the topology's shard count.
+	Count int
+	// Range is the user-ID range the shard owns.
+	Range ShardRange
+	// TotalPopulation is the whole topology's user base.
+	TotalPopulation int64
+}
+
+// NewShardBackend builds the world of shard index of count from cfg — the
+// identical range arithmetic and model construction ShardedBackend applies
+// in-process, packaged for one shard per process (fbadsd -shard-of). The
+// returned LocalBackend's shares are bit-identical to in-process shard
+// index's.
+func NewShardBackend(cfg worldcfg.Config, index, count int) (*LocalBackend, ShardInfo, error) {
+	if count < 1 {
+		return nil, ShardInfo{}, fmt.Errorf("serving: shard count %d must be >= 1", count)
+	}
+	if index < 0 || index >= count {
+		return nil, ShardInfo{}, fmt.Errorf("serving: shard index %d outside [0, %d)", index, count)
+	}
+	pop := cfg.Population.Population
+	if int64(count) > pop {
+		return nil, ShardInfo{}, fmt.Errorf("serving: %d shards exceed population %d", count, pop)
+	}
+	cat, err := cfg.BuildCatalog()
+	if err != nil {
+		return nil, ShardInfo{}, err
+	}
+	r := ShardRange{Lo: pop * int64(index) / int64(count), Hi: pop * int64(index+1) / int64(count)}
+	model, err := cfg.BuildModel(cat, r.Size())
+	if err != nil {
+		return nil, ShardInfo{}, fmt.Errorf("serving: shard %d: %w", index, err)
+	}
+	b := &LocalBackend{model: model, engine: cfg.NewEngine(model)}
+	return b, ShardInfo{Index: index, Count: count, Range: r, TotalPopulation: pop}, nil
+}
+
+// ShardServer serves one shard's reach primitives over the JSON shard RPC:
+// the per-process counterpart of a ShardedBackend shard. It is an
+// http.Handler; fbadsd mounts it on -shard-listen. The RPC surface trusts
+// its caller (the proxy validates specs upstream) but still rejects
+// malformed bodies and unknown interest IDs with 400s so a stray request
+// cannot crash the shard.
+type ShardServer struct {
+	backend *LocalBackend
+	info    ShardInfo
+	mux     *http.ServeMux
+}
+
+// NewShardServer wraps a shard backend (NewShardBackend) as its RPC handler.
+func NewShardServer(b *LocalBackend, info ShardInfo) (*ShardServer, error) {
+	if b == nil {
+		return nil, errors.New("serving: ShardServer needs a backend")
+	}
+	if info.Count < 1 || info.Index < 0 || info.Index >= info.Count {
+		return nil, fmt.Errorf("serving: bad shard identity %d/%d", info.Index, info.Count)
+	}
+	s := &ShardServer{backend: b, info: info}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+shardPathHealth, s.handleHealth)
+	mux.HandleFunc("POST "+shardPathDemo, s.handleDemoShare)
+	mux.HandleFunc("POST "+shardPathUnion, s.handleUnionShare)
+	mux.HandleFunc("POST "+shardPathConj, s.handleConjunctionShare)
+	mux.HandleFunc("POST "+shardPathCond, s.handleConditionalAudience)
+	mux.HandleFunc("GET "+shardPathStats, s.handleStats)
+	mux.HandleFunc("POST "+shardPathWarm, s.handleWarmRows)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Backend exposes the shard's LocalBackend (test and wiring use).
+func (s *ShardServer) Backend() *LocalBackend { return s.backend }
+
+// Info exposes the shard's topology identity.
+func (s *ShardServer) Info() ShardInfo { return s.info }
+
+func (s *ShardServer) writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+func (s *ShardServer) writeError(w http.ResponseWriter, status int, msg string) {
+	var body shardErrorBody
+	body.Error.Message = msg
+	buf, _ := json.Marshal(body)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// decodeShareRequest reads and validates a share-request body: well-formed
+// JSON with no unknown fields, and every interest ID present in the shard's
+// catalog.
+func (s *ShardServer) decodeShareRequest(w http.ResponseWriter, r *http.Request) (shardShareRequest, bool) {
+	var req shardShareRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return req, false
+	}
+	cat := s.backend.Catalog()
+	check := func(id interest.ID) bool {
+		if _, err := cat.Get(id); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown interest %d", id))
+			return false
+		}
+		return true
+	}
+	for _, clause := range req.Clauses {
+		for _, id := range clause {
+			if !check(id) {
+				return req, false
+			}
+		}
+	}
+	for _, id := range req.IDs {
+		if !check(id) {
+			return req, false
+		}
+	}
+	return req, true
+}
+
+func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, ShardHealthInfo{
+		Status:          "ok",
+		Shard:           s.info.Index,
+		Shards:          s.info.Count,
+		Lo:              s.info.Range.Lo,
+		Hi:              s.info.Range.Hi,
+		Population:      s.backend.Population(),
+		TotalPopulation: s.info.TotalPopulation,
+		CatalogSize:     s.backend.Catalog().Len(),
+	})
+}
+
+func (s *ShardServer) handleDemoShare(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeShareRequest(w, r)
+	if !ok {
+		return
+	}
+	var f population.DemoFilter
+	if req.Filter != nil {
+		f = *req.Filter
+	}
+	s.writeJSON(w, shardShareResponse{Share: s.backend.DemoShare(f)})
+}
+
+func (s *ShardServer) handleUnionShare(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeShareRequest(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, shardShareResponse{Share: s.backend.UnionShare(req.Clauses)})
+}
+
+func (s *ShardServer) handleConjunctionShare(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeShareRequest(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, shardShareResponse{Share: s.backend.Engine().ConjunctionShare(req.IDs)})
+}
+
+// handleConditionalAudience serves the §4.1 conditional audience. With no
+// population override it rides the engine's cached composite level — exact
+// for this shard's own world. A caller that wants the GLOBAL quantity from a
+// single-shard topology passes the total population; a multi-shard proxy
+// does not call this endpoint at all (composition must happen after the
+// factor shares are gathered, so it scatters /demoshare and
+// /conjunctionshare instead).
+func (s *ShardServer) handleConditionalAudience(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeShareRequest(w, r)
+	if !ok {
+		return
+	}
+	var f population.DemoFilter
+	if req.Filter != nil {
+		f = *req.Filter
+	}
+	if req.Population < 0 {
+		s.writeError(w, http.StatusBadRequest, "negative population override")
+		return
+	}
+	var v float64
+	if req.Population == 0 || req.Population == s.backend.Population() {
+		v = s.backend.ConditionalAudience(f, req.IDs)
+	} else {
+		e := s.backend.Engine()
+		base := float64(req.Population)*e.DemoShare(f) - 1
+		if base < 0 {
+			base = 0
+		}
+		v = 1 + base*e.ConjunctionShare(req.IDs)
+	}
+	s.writeJSON(w, shardShareResponse{Share: v})
+}
+
+func (s *ShardServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.backend.AudienceStats())
+}
+
+func (s *ShardServer) handleWarmRows(w http.ResponseWriter, r *http.Request) {
+	s.backend.WarmRows()
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// ProxyConfig configures a ProxyBackend.
+type ProxyConfig struct {
+	// URLs are the shard base URLs in shard-index order: URLs[i] must serve
+	// shard i of len(URLs) (ProbeNow verifies this and marks mismatches
+	// down).
+	URLs []string
+	// Timeout bounds each shard RPC attempt (default 10s).
+	Timeout time.Duration
+	// MaxRetries bounds per-RPC retries after the first attempt, on network
+	// errors and 5xx (default 2).
+	MaxRetries int
+	// RetryBase is the initial retry backoff, doubled per retry
+	// (default 50ms).
+	RetryBase time.Duration
+	// Policy selects the degradation behaviour when shards are down
+	// (default PolicyFail).
+	Policy Policy
+	// ProbeInterval is StartHealth's probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Client overrides the HTTP client — tests inject flaky transports
+	// through it. Nil uses a plain client (per-request contexts carry the
+	// timeouts).
+	Client *http.Client
+	// Now supplies time for health bookkeeping; defaults to time.Now.
+	Now func() time.Time
+	// Sleep is the retry backoff sleep, swappable for tests; defaults to a
+	// context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// ProxyBackend implements ReachBackend over N shard PROCESSES: the network
+// counterpart of ShardedBackend. Every share query scatters the shard RPC to
+// all live shards (per-RPC timeout, bounded retry with exponential backoff)
+// and folds the answers weight_s · share_s in shard-index order — with a
+// healthy topology, byte-identical to ShardedBackend at the same shard split
+// (see the package comment's exactness argument).
+//
+// Failure behaviour is governed by the health subsystem (health.go): shards
+// marked down by probes are skipped, RPC failures mark shards down, and the
+// configured Policy decides between refusing (PolicyFail panics with
+// *UnavailableError → HTTP 503) and renormalizing over the live shards
+// (PolicyRenormalize, responses stamped degraded).
+type ProxyBackend struct {
+	catalog *interest.Catalog
+	pop     int64
+	urls    []string
+	weights []float64
+
+	timeout       time.Duration
+	maxRetries    int
+	retryBase     time.Duration
+	policy        Policy
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	client        *http.Client
+	sleep         func(ctx context.Context, d time.Duration) error
+
+	health *healthMonitor
+}
+
+// NewProxyBackend builds the proxy's local view of the world described by
+// cfg: the interest catalog is generated locally (bit-identical to every
+// shard's — catalog generation is a pure function of the config), shard
+// weights come from the same integer range arithmetic ShardedBackend uses,
+// and all reach arithmetic composes scatter-gathered shares. No shard is
+// contacted during construction; shards start optimistically up and the
+// first probe or scatter corrects that.
+func NewProxyBackend(cfg worldcfg.Config, pc ProxyConfig) (*ProxyBackend, error) {
+	n := len(pc.URLs)
+	if n < 1 {
+		return nil, errors.New("serving: ProxyConfig.URLs needs at least one shard URL")
+	}
+	pop := cfg.Population.Population
+	if int64(n) > pop {
+		return nil, fmt.Errorf("serving: %d shards exceed population %d", n, pop)
+	}
+	if pc.Timeout <= 0 {
+		pc.Timeout = 10 * time.Second
+	}
+	if pc.MaxRetries < 0 {
+		return nil, fmt.Errorf("serving: negative MaxRetries %d", pc.MaxRetries)
+	}
+	if pc.MaxRetries == 0 {
+		pc.MaxRetries = 2
+	}
+	if pc.RetryBase <= 0 {
+		pc.RetryBase = 50 * time.Millisecond
+	}
+	if pc.ProbeInterval <= 0 {
+		pc.ProbeInterval = time.Second
+	}
+	if pc.ProbeTimeout <= 0 {
+		pc.ProbeTimeout = 2 * time.Second
+	}
+	if pc.Client == nil {
+		pc.Client = &http.Client{}
+	}
+	if pc.Now == nil {
+		pc.Now = time.Now
+	}
+	if pc.Sleep == nil {
+		pc.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	cat, err := cfg.BuildCatalog()
+	if err != nil {
+		return nil, err
+	}
+	urls := make([]string, n)
+	weights := make([]float64, n)
+	for i, u := range pc.URLs {
+		urls[i] = strings.TrimSuffix(u, "/")
+		r := ShardRange{Lo: pop * int64(i) / int64(n), Hi: pop * int64(i+1) / int64(n)}
+		weights[i] = float64(r.Size()) / float64(pop)
+	}
+	return &ProxyBackend{
+		catalog:       cat,
+		pop:           pop,
+		urls:          urls,
+		weights:       weights,
+		timeout:       pc.Timeout,
+		maxRetries:    pc.MaxRetries,
+		retryBase:     pc.RetryBase,
+		policy:        pc.Policy,
+		probeInterval: pc.ProbeInterval,
+		probeTimeout:  pc.ProbeTimeout,
+		client:        pc.Client,
+		sleep:         pc.Sleep,
+		health:        newHealthMonitor(urls, pc.Now),
+	}, nil
+}
+
+// NumShards returns the topology's shard count.
+func (p *ProxyBackend) NumShards() int { return len(p.urls) }
+
+// URLs returns the shard base URLs in shard order.
+func (p *ProxyBackend) URLs() []string { return append([]string(nil), p.urls...) }
+
+// Policy returns the configured degradation policy.
+func (p *ProxyBackend) Policy() Policy { return p.policy }
+
+// Catalog implements ReachBackend: the proxy's locally generated catalog,
+// bit-identical to every shard's.
+func (p *ProxyBackend) Catalog() *interest.Catalog { return p.catalog }
+
+// Population implements ReachBackend.
+func (p *ProxyBackend) Population() int64 { return p.pop }
+
+// DemoShare implements ReachBackend. Like every proxy share method it panics
+// with *UnavailableError when the topology cannot serve under the policy.
+func (p *ProxyBackend) DemoShare(f population.DemoFilter) float64 {
+	return p.gatherShare(shardPathDemo, shardShareRequest{Filter: &f})
+}
+
+// UnionShare implements ReachBackend.
+func (p *ProxyBackend) UnionShare(clauses [][]interest.ID) float64 {
+	return p.gatherShare(shardPathUnion, shardShareRequest{Clauses: clauses})
+}
+
+// ConditionalAudience implements ReachBackend: both factor shares are
+// scatter-gathered and composed with the GLOBAL population — the identical
+// arithmetic ShardedBackend.ConditionalAudience applies, so healthy-topology
+// answers match it byte-for-byte.
+func (p *ProxyBackend) ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64 {
+	demo := p.gatherShare(shardPathDemo, shardShareRequest{Filter: &f})
+	conj := p.gatherShare(shardPathConj, shardShareRequest{IDs: ids})
+	base := float64(p.pop)*demo - 1
+	if base < 0 {
+		base = 0
+	}
+	return 1 + base*conj
+}
+
+// AudienceStats implements ReachBackend: the fold of every reachable shard's
+// cache counters (stats are diagnostics — unreachable shards contribute
+// nothing rather than failing the call).
+func (p *ProxyBackend) AudienceStats() audience.Stats {
+	n := len(p.urls)
+	stats := make([]*audience.Stats, n)
+	_ = parallel.ForEach(context.Background(), n, n, func(i int) error {
+		var st audience.Stats
+		if err := p.call(i, http.MethodGet, shardPathStats, nil, &st); err == nil {
+			stats[i] = &st
+		}
+		return nil
+	})
+	var total audience.Stats
+	for _, st := range stats {
+		if st != nil {
+			total = addStats(total, *st)
+		}
+	}
+	return total
+}
+
+// WarmRows implements ReachBackend: best-effort — every reachable shard
+// materializes its full inclusion-row table.
+func (p *ProxyBackend) WarmRows() {
+	n := len(p.urls)
+	_ = parallel.ForEach(context.Background(), n, n, func(i int) error {
+		_ = p.call(i, http.MethodPost, shardPathWarm, &shardShareRequest{}, nil)
+		return nil
+	})
+}
+
+// gatherShare scatters one share RPC across the topology and folds the
+// answers. The fold is deterministic (shard-index order) in every mode:
+//
+//   - all shards answered: Σ weight_s · share_s — ShardedBackend's exact
+//     arithmetic, with the same single-shard short-circuit;
+//   - PolicyFail and anything down or failing: panic *UnavailableError
+//     (the HTTP tier's 503);
+//   - PolicyRenormalize: down shards are skipped, shards whose RPC fails
+//     (after retries) are marked down and excluded, and the live terms are
+//     renormalized — Σ_live weight_s · share_s / Σ_live weight_s, or the
+//     bare share when a single shard survives. Zero live shards panic
+//     *UnavailableError.
+func (p *ProxyBackend) gatherShare(path string, req shardShareRequest) float64 {
+	n := len(p.urls)
+	down, downURLs := p.health.downShards()
+	if p.policy == PolicyFail && len(downURLs) > 0 {
+		panic(&UnavailableError{Down: downURLs})
+	}
+	shares := make([]float64, n)
+	errs := make([]error, n)
+	_ = parallel.ForEach(context.Background(), n, n, func(i int) error {
+		if down[i] {
+			errs[i] = errors.New("skipped: marked down")
+			return nil
+		}
+		var out shardShareResponse
+		if err := p.call(i, http.MethodPost, path, &req, &out); err != nil {
+			errs[i] = err
+			p.health.markDown(i, err)
+			return nil
+		}
+		shares[i] = out.Share
+		return nil
+	})
+
+	var failedURLs []string
+	live := 0
+	lastLive := -1
+	for i, err := range errs {
+		if err != nil {
+			failedURLs = append(failedURLs, p.urls[i])
+		} else {
+			live++
+			lastLive = i
+		}
+	}
+	if len(failedURLs) == 0 {
+		// Healthy topology: ShardedBackend's exact fold.
+		if n == 1 {
+			return shares[0]
+		}
+		total := 0.0
+		for i, w := range p.weights {
+			total += w * shares[i]
+		}
+		return total
+	}
+	if p.policy == PolicyFail || live == 0 {
+		panic(&UnavailableError{Down: failedURLs})
+	}
+	if live == 1 {
+		// One survivor: its renormalized weight is exactly 1, so return the
+		// bare share (mirrors the single-shard short-circuit and avoids the
+		// (w·s)/w rounding detour).
+		return shares[lastLive]
+	}
+	total, mass := 0.0, 0.0
+	for i, err := range errs {
+		if err == nil {
+			total += p.weights[i] * shares[i]
+			mass += p.weights[i]
+		}
+	}
+	return total / mass
+}
+
+// call performs one shard RPC with bounded retry: network errors and 5xx
+// retry with exponential backoff (RetryBase doubled per attempt) up to
+// MaxRetries; 4xx responses are permanent.
+func (p *ProxyBackend) call(shard int, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("serving: proxy: marshal %s: %w", path, err)
+		}
+	}
+	url := p.urls[shard] + path
+	var lastErr error
+	wait := p.retryBase
+	for attempt := 0; attempt <= p.maxRetries; attempt++ {
+		if attempt > 0 {
+			if err := p.sleep(context.Background(), wait); err != nil {
+				return err
+			}
+			wait *= 2
+		}
+		data, status, err := p.roundTrip(method, url, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case status >= 500:
+			lastErr = fmt.Errorf("HTTP %d: %s", status, truncate(data))
+			continue
+		case status != http.StatusOK:
+			var eb shardErrorBody
+			if json.Unmarshal(data, &eb) == nil && eb.Error.Message != "" {
+				return fmt.Errorf("serving: shard %d %s: HTTP %d: %s", shard, path, status, eb.Error.Message)
+			}
+			return fmt.Errorf("serving: shard %d %s: HTTP %d: %s", shard, path, status, truncate(data))
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("serving: shard %d %s: bad response: %w", shard, path, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("serving: shard %d %s: retries exhausted: %w", shard, path, lastErr)
+}
+
+// roundTrip performs one HTTP attempt under the per-RPC timeout.
+func (p *ProxyBackend) roundTrip(method, url string, body []byte) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, resp.StatusCode, nil
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	s := string(b)
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

@@ -1,0 +1,305 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+	"nanotarget/internal/rng"
+	"nanotarget/internal/worldcfg"
+)
+
+// startShardTopology boots count in-process httptest shard servers for cfg
+// and returns their base URLs in shard order (cleanup via t.Cleanup).
+func startShardTopology(t *testing.T, cfg worldcfg.Config, count int) []string {
+	t.Helper()
+	urls := make([]string, count)
+	for i := 0; i < count; i++ {
+		b, info, err := NewShardBackend(cfg, i, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewShardServer(b, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func newTestProxy(t *testing.T, cfg worldcfg.Config, urls []string, pc ProxyConfig) *ProxyBackend {
+	t.Helper()
+	pc.URLs = urls
+	if pc.RetryBase == 0 {
+		pc.RetryBase = time.Millisecond
+	}
+	p, err := NewProxyBackend(cfg, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestProxyMatchesShardedBackend is the tentpole's acceptance property: for
+// random conjunctions/unions, demo filters and conditional audiences, the
+// network proxy's answers over httptest shard processes are BYTE-IDENTICAL
+// to the in-process ShardedBackend at the same shard split — across shards
+// {1,2,3} × seeds {0,1,42}. This is the whole exactness argument for the
+// topology: per-shard shares survive the JSON hop exactly, and the proxy
+// folds them with ShardedBackend's arithmetic.
+func TestProxyMatchesShardedBackend(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42} {
+		cfg := smallConfig(seed)
+		for _, shards := range []int{1, 2, 3} {
+			sharded, err := NewShardedBackend(cfg, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			urls := startShardTopology(t, cfg, shards)
+			proxy := newTestProxy(t, cfg, urls, ProxyConfig{})
+			if proxy.Population() != sharded.Population() {
+				t.Fatalf("population mismatch: %d vs %d", proxy.Population(), sharded.Population())
+			}
+			if proxy.Catalog().Len() != sharded.Catalog().Len() {
+				t.Fatalf("catalog mismatch: %d vs %d", proxy.Catalog().Len(), sharded.Catalog().Len())
+			}
+			r := rng.New(seed).Derive("proxy-property-queries")
+			for trial := 0; trial < 25; trial++ {
+				clauses := randomClauses(r, cfg.Population.CatalogSize)
+				if got, want := proxy.UnionShare(clauses), sharded.UnionShare(clauses); got != want {
+					t.Fatalf("seed %d shards=%d trial %d: proxy UnionShare = %v, sharded %v — must be byte-identical",
+						seed, shards, trial, got, want)
+				}
+				f := randomFilter(r)
+				if got, want := proxy.DemoShare(f), sharded.DemoShare(f); got != want {
+					t.Fatalf("seed %d shards=%d trial %d: proxy DemoShare = %v, sharded %v — must be byte-identical",
+						seed, shards, trial, got, want)
+				}
+				conj := clauses[0]
+				if got, want := proxy.ConditionalAudience(f, conj), sharded.ConditionalAudience(f, conj); got != want {
+					t.Fatalf("seed %d shards=%d trial %d: proxy ConditionalAudience = %v, sharded %v — must be byte-identical",
+						seed, shards, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProxyStatsAndWarmRows covers the diagnostic folds over the RPC
+// topology: WarmRows warms every shard and AudienceStats sums their
+// counters.
+func TestProxyStatsAndWarmRows(t *testing.T) {
+	cfg := smallConfig(1)
+	urls := startShardTopology(t, cfg, 2)
+	proxy := newTestProxy(t, cfg, urls, ProxyConfig{})
+	proxy.WarmRows()
+	clauses := [][]interest.ID{{1}, {3}}
+	proxy.UnionShare(clauses)
+	proxy.UnionShare(clauses)
+	st := proxy.AudienceStats()
+	if st.Prefix.Misses+st.Set.Misses == 0 {
+		t.Fatalf("no misses recorded across shards: %+v", st)
+	}
+	if st.Prefix.Hits+st.Set.Hits == 0 {
+		t.Fatalf("no hits recorded across shards: %+v", st)
+	}
+}
+
+func TestNewShardBackendErrors(t *testing.T) {
+	cfg := smallConfig(1)
+	if _, _, err := NewShardBackend(cfg, 0, 0); err == nil {
+		t.Fatal("count 0 should fail")
+	}
+	if _, _, err := NewShardBackend(cfg, 2, 2); err == nil {
+		t.Fatal("index == count should fail")
+	}
+	if _, _, err := NewShardBackend(cfg, -1, 2); err == nil {
+		t.Fatal("negative index should fail")
+	}
+	cfg.Population.Population = 3
+	if _, _, err := NewShardBackend(cfg, 0, 5); err == nil {
+		t.Fatal("more shards than users should fail")
+	}
+}
+
+func TestNewProxyBackendErrors(t *testing.T) {
+	cfg := smallConfig(1)
+	if _, err := NewProxyBackend(cfg, ProxyConfig{}); err == nil {
+		t.Fatal("no URLs should fail")
+	}
+	cfg.Population.Population = 2
+	if _, err := NewProxyBackend(cfg, ProxyConfig{URLs: []string{"a", "b", "c"}}); err == nil {
+		t.Fatal("more shards than users should fail")
+	}
+}
+
+// TestShardServerEndpoints exercises the RPC surface directly: health
+// identity, share endpoints, the conditionalaudience population override,
+// and the rejection paths (malformed body, unknown interest, wrong method).
+func TestShardServerEndpoints(t *testing.T) {
+	cfg := smallConfig(1)
+	b, info, err := NewShardBackend(cfg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewShardServer(b, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var health ShardHealthInfo
+	getJSON(t, ts.URL+shardPathHealth, &health)
+	wantRange := ShardRange{Lo: 0, Hi: cfg.Population.Population / 2}
+	if health.Status != "ok" || health.Shard != 0 || health.Shards != 2 ||
+		health.Lo != wantRange.Lo || health.Hi != wantRange.Hi ||
+		health.Population != wantRange.Size() ||
+		health.TotalPopulation != cfg.Population.Population ||
+		health.CatalogSize != cfg.Population.CatalogSize {
+		t.Fatalf("health identity wrong: %+v", health)
+	}
+
+	var out shardShareResponse
+	f := randomFilter(rng.New(9))
+	postJSON(t, ts.URL+shardPathDemo, shardShareRequest{Filter: &f}, &out)
+	if want := b.DemoShare(f); out.Share != want {
+		t.Fatalf("DemoShare over RPC = %v, local %v", out.Share, want)
+	}
+	postJSON(t, ts.URL+shardPathUnion, shardShareRequest{Clauses: [][]interest.ID{{1, 2}, {3}}}, &out)
+	if want := b.UnionShare([][]interest.ID{{1, 2}, {3}}); out.Share != want {
+		t.Fatalf("UnionShare over RPC = %v, local %v", out.Share, want)
+	}
+	postJSON(t, ts.URL+shardPathConj, shardShareRequest{IDs: []interest.ID{1, 2}}, &out)
+	if want := b.Engine().ConjunctionShare([]interest.ID{1, 2}); out.Share != want {
+		t.Fatalf("ConjunctionShare over RPC = %v, local %v", out.Share, want)
+	}
+
+	// The population override: shard-local by default, global on request.
+	ids := []interest.ID{1}
+	postJSON(t, ts.URL+shardPathCond, shardShareRequest{IDs: ids}, &out)
+	if want := b.ConditionalAudience(population.DemoFilter{}, ids); out.Share != want {
+		t.Fatalf("shard-local ConditionalAudience = %v, local %v", out.Share, want)
+	}
+	local := out.Share
+	postJSON(t, ts.URL+shardPathCond,
+		shardShareRequest{IDs: ids, Population: cfg.Population.Population}, &out)
+	if out.Share <= local {
+		t.Fatalf("global-population ConditionalAudience %v should exceed shard-local %v", out.Share, local)
+	}
+
+	for _, tc := range []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"malformed body", http.MethodPost, shardPathUnion, "{", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, shardPathUnion, `{"bogus": 1}`, http.StatusBadRequest},
+		{"unknown interest", http.MethodPost, shardPathUnion, `{"clauses": [[999999]]}`, http.StatusBadRequest},
+		{"unknown conjunction id", http.MethodPost, shardPathConj, `{"ids": [999999]}`, http.StatusBadRequest},
+		{"negative population", http.MethodPost, shardPathCond, `{"population": -1}`, http.StatusBadRequest},
+		{"wrong method", http.MethodGet, shardPathUnion, "", http.StatusMethodNotAllowed},
+		{"health wrong method", http.MethodPost, shardPathHealth, "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+// TestProxyRetriesTransientFailures verifies the bounded-retry path: a shard
+// that 500s once per request is still served through, with the injected
+// Sleep observing the exponential backoff.
+func TestProxyRetriesTransientFailures(t *testing.T) {
+	cfg := smallConfig(1)
+	b, info, err := NewShardBackend(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewShardServer(b, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail {
+			fail = false
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	var slept []time.Duration
+	proxy := newTestProxy(t, cfg, []string{flaky.URL}, ProxyConfig{
+		MaxRetries: 2,
+		RetryBase:  time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	})
+	want := b.UnionShare([][]interest.ID{{1}})
+	if got := proxy.UnionShare([][]interest.ID{{1}}); got != want {
+		t.Fatalf("share after retry = %v, want %v", got, want)
+	}
+	if len(slept) != 1 || slept[0] != time.Millisecond {
+		t.Fatalf("expected one 1ms backoff sleep, got %v", slept)
+	}
+	if proxy.HealthStats().Down != 0 {
+		t.Fatal("a retried-through transient should not mark the shard down")
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, in, out any) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+#!/usr/bin/env sh
+# Multi-process serving smoke: boots a 2-shard fbadsd topology plus a
+# scatter-gather proxy, floods it with cmd/fbadsload, and gates failover.
+#
+#   1. healthy renormalize proxy answers the whole flood with 0 errors;
+#   2. with shard 1 killed, the renormalize proxy still answers everything
+#      (0 errors) and stamps responses degraded (gated via the loadgen
+#      "degraded" tally);
+#   3. a fail-policy proxy over the same (half-dead) topology answers 503
+#      with a JSON body naming the dead shard's URL.
+#
+# Parameterized by environment so CI can scale it down:
+#   CATALOG, POPULATION  world size (must match across every process)
+#   ACCOUNTS, PROBES, INTERESTS, CONCURRENCY  flood shape
+#   OUT_JSON  where the healthy-run loadgen baseline JSON goes
+set -eu
+
+CATALOG="${CATALOG:-4000}"
+POPULATION="${POPULATION:-2000001}"
+ACCOUNTS="${ACCOUNTS:-40}"
+PROBES="${PROBES:-5}"
+INTERESTS="${INTERESTS:-10}"
+CONCURRENCY="${CONCURRENCY:-8}"
+OUT_JSON="${OUT_JSON:-proxy-smoke.json}"
+
+SHARD0_PORT=19100
+SHARD1_PORT=19101
+PROXY_PORT=19080
+FAIL_PROXY_PORT=19081
+
+WORLD="-catalog $CATALOG -population $POPULATION"
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building fbadsd and fbadsload"
+go build -o /tmp/proxy-smoke-fbadsd ./cmd/fbadsd
+go build -o /tmp/proxy-smoke-fbadsload ./cmd/fbadsload
+
+# Bench-scale worlds (make bench-serving) take far longer to build than the
+# CI smoke world, so the boot wait is generous: 600 x 0.2s = 2 minutes.
+wait_http() {
+    url="$1"; tries=0
+    until curl -gfsS "$url" >/dev/null 2>&1; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 600 ]; then
+            echo "FAIL: $url never came up" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "==> booting 2 shard processes"
+/tmp/proxy-smoke-fbadsd $WORLD -shard-of 0/2 -shard-listen "127.0.0.1:$SHARD0_PORT" &
+PIDS="$PIDS $!"
+/tmp/proxy-smoke-fbadsd $WORLD -shard-of 1/2 -shard-listen "127.0.0.1:$SHARD1_PORT" &
+SHARD1_PID=$!
+PIDS="$PIDS $SHARD1_PID"
+wait_http "http://127.0.0.1:$SHARD0_PORT/shard/v1/health"
+wait_http "http://127.0.0.1:$SHARD1_PORT/shard/v1/health"
+
+echo "==> booting renormalize and fail proxies"
+SHARD_URLS="http://127.0.0.1:$SHARD0_PORT,http://127.0.0.1:$SHARD1_PORT"
+/tmp/proxy-smoke-fbadsd $WORLD -proxy "$SHARD_URLS" -degrade renormalize \
+    -health-interval 200ms -addr "127.0.0.1:$PROXY_PORT" &
+PIDS="$PIDS $!"
+/tmp/proxy-smoke-fbadsd $WORLD -proxy "$SHARD_URLS" -degrade fail \
+    -health-interval 200ms -addr "127.0.0.1:$FAIL_PROXY_PORT" &
+PIDS="$PIDS $!"
+SPEC='{"geo_locations":{"countries":["ES"]}}'
+wait_http "http://127.0.0.1:$PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC"
+wait_http "http://127.0.0.1:$FAIL_PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC"
+
+echo "==> flood 1: healthy 2-shard topology through the renormalize proxy"
+/tmp/proxy-smoke-fbadsload -url "http://127.0.0.1:$PROXY_PORT" \
+    $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
+    -concurrency "$CONCURRENCY" -note "proxy 2-process topology (healthy)" \
+    -json "$OUT_JSON"
+grep -q '"errors": 0' "$OUT_JSON" || {
+    echo "FAIL: healthy proxy flood had request errors:" >&2
+    cat "$OUT_JSON" >&2
+    exit 1
+}
+if grep -q '"degraded"' "$OUT_JSON"; then
+    echo "FAIL: healthy proxy stamped responses degraded" >&2
+    exit 1
+fi
+
+echo "==> killing shard 1 ($SHARD1_PID)"
+kill "$SHARD1_PID"
+wait "$SHARD1_PID" 2>/dev/null || true
+sleep 1  # > health-interval: let the probes notice
+
+echo "==> flood 2: one shard down, renormalize proxy must answer everything"
+DEGRADED_JSON="${OUT_JSON%.json}-degraded.json"
+/tmp/proxy-smoke-fbadsload -url "http://127.0.0.1:$PROXY_PORT" \
+    $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
+    -concurrency "$CONCURRENCY" -note "proxy 2-process topology (shard 1 down, renormalize)" \
+    -json "$DEGRADED_JSON"
+grep -q '"errors": 0' "$DEGRADED_JSON" || {
+    echo "FAIL: degraded proxy flood had request errors:" >&2
+    cat "$DEGRADED_JSON" >&2
+    exit 1
+}
+grep -q '"degraded"' "$DEGRADED_JSON" || {
+    echo "FAIL: renormalize responses with a dead shard were not stamped degraded" >&2
+    cat "$DEGRADED_JSON" >&2
+    exit 1
+}
+
+echo "==> fail-policy proxy must 503 naming the dead shard"
+BODY=$(curl -gs -w '\n%{http_code}' \
+    "http://127.0.0.1:$FAIL_PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC")
+STATUS=$(printf '%s' "$BODY" | tail -n 1)
+PAYLOAD=$(printf '%s' "$BODY" | sed '$d')
+if [ "$STATUS" != "503" ]; then
+    echo "FAIL: fail-policy proxy answered HTTP $STATUS, want 503 ($PAYLOAD)" >&2
+    exit 1
+fi
+case "$PAYLOAD" in
+*"127.0.0.1:$SHARD1_PORT"*) ;;
+*)
+    echo "FAIL: 503 body does not name the dead shard: $PAYLOAD" >&2
+    exit 1
+    ;;
+esac
+
+echo "PASS: proxy topology served every request, degraded honestly, and failed loudly"
