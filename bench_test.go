@@ -899,7 +899,7 @@ func BenchmarkServingLoad(b *testing.B) {
 				err     error
 			)
 			if shards > 1 {
-				backend, err = serving.NewShardedBackend(cfg, shards)
+				backend, err = serving.NewShardedBackend(context.Background(), cfg, shards)
 			} else {
 				backend, err = serving.NewLocalBackendFromConfig(cfg)
 			}

@@ -14,7 +14,11 @@
 // server at N=1, within 1e-12 relative at N>1 (internal/serving).
 // -admit-rate puts per-ad-account admission control (HTTP 429 with
 // Retry-After) in front of the API, throttling the multi-account probe
-// floods cmd/fbadsload replays.
+// floods cmd/fbadsload replays; tokens are charged proportional to the
+// spec's predicted row-kernel work (serving.SpecCost) unless -admit-flat.
+// -max-inflight bounds concurrent requests server-wide, shedding the excess
+// with 503 + Retry-After (serving.Gate) — overload protection distinct from
+// the per-account 429s.
 //
 // Process sharding promotes that topology across processes:
 //
@@ -31,6 +35,13 @@
 // answers 503 naming the dead shards, "renormalize" keeps serving from the
 // live shards with responses stamped "degraded": true. Every fbadsd in one
 // topology must run the same world flags (-seed/-catalog/-population/...).
+//
+// The proxy also runs a circuit breaker per shard (trip after
+// -breaker-failures consecutive data-RPC failures, fast-fail for
+// -breaker-open-timeout, then a half-open trial), propagates every caller's
+// deadline into the shard RPCs (X-Deadline-Ms), and -chaos-slow-shard i=dur
+// injects dur of latency into shard i's RPCs (loadgen.FlakyTransport) for
+// chaos drills — see scripts/proxy_smoke.sh.
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 
 	"nanotarget/internal/adsapi"
 	"nanotarget/internal/cliflags"
+	"nanotarget/internal/loadgen"
 	"nanotarget/internal/serving"
 	"nanotarget/internal/worldcfg"
 )
@@ -56,14 +68,16 @@ func main() {
 		cliflags.With(cliflags.FlagPopulation),
 		cliflags.Usage(cliflags.FlagCache, "enable the reach-estimate audience cache (false = recompute every query; results are identical)"))
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		era        = flag.String("era", "2017", "platform era: 2017, 2020 or workaround")
-		tokens     = flag.String("tokens", "", "comma-separated access tokens (empty = no auth)")
-		rate       = flag.Float64("rate", 0, "per-token rate limit in requests/second (0 = unlimited)")
-		prewarm    = flag.Bool("prewarm-rows", false, "materialize the full inclusion-row table at startup (catalog x grid x 8 bytes of memory per shard; zero first-touch latency on cold estimates)")
-		shards     = flag.Int("shards", 1, "backend shards: split the population by user-ID range and serve reach by scatter-gather (1 = single-world backend)")
-		admitRate  = flag.Float64("admit-rate", 0, "per-ad-account admission limit in requests/second, enforced with 429 + Retry-After in front of the API (0 = no admission control)")
-		admitBurst = flag.Float64("admit-burst", 0, "admission token-bucket capacity (0 = 2x admit-rate)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		era         = flag.String("era", "2017", "platform era: 2017, 2020 or workaround")
+		tokens      = flag.String("tokens", "", "comma-separated access tokens (empty = no auth)")
+		rate        = flag.Float64("rate", 0, "per-token rate limit in requests/second (0 = unlimited)")
+		prewarm     = flag.Bool("prewarm-rows", false, "materialize the full inclusion-row table at startup (catalog x grid x 8 bytes of memory per shard; zero first-touch latency on cold estimates)")
+		shards      = flag.Int("shards", 1, "backend shards: split the population by user-ID range and serve reach by scatter-gather (1 = single-world backend)")
+		admitRate   = flag.Float64("admit-rate", 0, "per-ad-account admission limit in tokens/second, enforced with 429 + Retry-After in front of the API (0 = no admission control)")
+		admitBurst  = flag.Float64("admit-burst", 0, "admission token-bucket capacity (0 = 2x admit-rate)")
+		admitFlat   = flag.Bool("admit-flat", false, "charge every admitted request a flat 1 token instead of its spec-complexity cost (serving.SpecCost)")
+		maxInflight = flag.Int("max-inflight", 0, "bound on concurrently served requests; the excess is shed with 503 + Retry-After (0 = unbounded)")
 
 		shardOf        = flag.String("shard-of", "", "serve one shard's RPC instead of the Marketing API: \"i/n\" builds shard i of an n-shard topology (listen address: -shard-listen)")
 		shardListen    = flag.String("shard-listen", ":9100", "listen address of the shard RPC server (only with -shard-of)")
@@ -71,6 +85,9 @@ func main() {
 		degrade        = flag.String("degrade", "fail", "proxy degradation policy when shards are down: fail (503 naming the dead shards) or renormalize (serve from live shards, responses stamped degraded)")
 		healthInterval = flag.Duration("health-interval", time.Second, "proxy health-probe period")
 		rpcTimeout     = flag.Duration("rpc-timeout", 10*time.Second, "per-shard-RPC timeout of the proxy")
+		breakFailures  = flag.Int("breaker-failures", 5, "consecutive shard-RPC failures that trip the proxy's per-shard circuit breaker open")
+		breakTimeout   = flag.Duration("breaker-open-timeout", 5*time.Second, "how long an open circuit breaker fast-fails before a half-open trial RPC")
+		chaosSlowShard = flag.String("chaos-slow-shard", "", "inject latency into one shard's RPCs, as i=duration (e.g. 1=300ms); chaos testing only")
 	)
 	flag.Parse()
 
@@ -110,15 +127,24 @@ func main() {
 			log.Fatal(perr)
 		}
 		urls := strings.Split(*proxyURLs, ",")
+		client, cerr := chaosClient(*chaosSlowShard, urls)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
 		var proxy *serving.ProxyBackend
 		proxy, err = serving.NewProxyBackend(*cfg, serving.ProxyConfig{
 			URLs:          urls,
 			Timeout:       *rpcTimeout,
 			Policy:        policy,
 			ProbeInterval: *healthInterval,
+			Breaker: serving.BreakerConfig{
+				FailureThreshold: *breakFailures,
+				OpenTimeout:      *breakTimeout,
+			},
+			Client: client,
 		})
 		if err == nil {
-			proxy.ProbeNow()
+			proxy.ProbeNow(context.Background())
 			st := proxy.HealthStats()
 			if st.Down > 0 {
 				for _, sh := range st.Shards {
@@ -132,7 +158,7 @@ func main() {
 			topology = fmt.Sprintf("proxy over %d shard process(es), policy %s", len(urls), policy)
 		}
 	case *shards > 1:
-		backend, err = serving.NewShardedBackend(*cfg, *shards)
+		backend, err = serving.NewShardedBackend(context.Background(), *cfg, *shards)
 	default:
 		backend, err = serving.NewLocalBackendFromConfig(*cfg)
 	}
@@ -155,15 +181,61 @@ func main() {
 	}
 	handler := http.Handler(srv)
 	if *admitRate > 0 {
-		handler = serving.NewAdmission(serving.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst}, srv)
+		ac := serving.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst}
+		if !*admitFlat {
+			ac.Cost = adsapi.AdmissionCost
+		}
+		handler = serving.NewAdmission(ac, handler)
+	}
+	if *maxInflight > 0 {
+		handler = serving.NewGate(serving.GateConfig{MaxInFlight: *maxInflight}, handler)
 	}
 	log.Printf("world ready in %v: %d interests, %d users, %s, era %s, floor %d",
 		time.Since(start).Round(time.Millisecond), backend.Catalog().Len(), backend.Population(),
 		topology, eraCfg.Name, eraCfg.MinReach)
 	log.Printf("listening on %s", *addr)
-	fmt.Printf("try: curl '%s/v9.0/act_1/reachestimate?targeting_spec=%s'\n",
-		"http://localhost"+*addr, `{"geo_locations":{"countries":["ES"]}}`)
+	host := *addr
+	if strings.HasPrefix(host, ":") {
+		host = "localhost" + host
+	}
+	fmt.Printf("try: curl 'http://%s/v9.0/act_1/reachestimate?targeting_spec=%s'\n",
+		host, `{"geo_locations":{"countries":["ES"]}}`)
 	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// chaosClient builds the proxy's HTTP client, wrapping the transport in a
+// loadgen.FlakyTransport latency injector when -chaos-slow-shard is set:
+// every RPC aimed at the named shard sleeps the configured duration (or
+// until the propagated deadline expires — the injected sleep honors the
+// request context). An empty spec returns a plain client.
+func chaosClient(spec string, urls []string) (*http.Client, error) {
+	if spec == "" {
+		return &http.Client{}, nil
+	}
+	var index int
+	var dur time.Duration
+	eq := strings.IndexByte(spec, '=')
+	if eq < 0 {
+		return nil, fmt.Errorf("-chaos-slow-shard %q: want i=duration (e.g. 1=300ms)", spec)
+	}
+	if _, err := fmt.Sscanf(spec[:eq], "%d", &index); err != nil {
+		return nil, fmt.Errorf("-chaos-slow-shard %q: bad shard index: %v", spec, err)
+	}
+	var err error
+	if dur, err = time.ParseDuration(spec[eq+1:]); err != nil {
+		return nil, fmt.Errorf("-chaos-slow-shard %q: bad duration: %v", spec, err)
+	}
+	if index < 0 || index >= len(urls) {
+		return nil, fmt.Errorf("-chaos-slow-shard %q: shard index outside [0, %d)", spec, len(urls))
+	}
+	target := strings.TrimSuffix(urls[index], "/")
+	log.Printf("CHAOS: delaying shard %d (%s) RPCs by %v", index, target, dur)
+	return &http.Client{Transport: &loadgen.FlakyTransport{
+		Delay: dur,
+		DelayPred: func(r *http.Request) bool {
+			return strings.HasPrefix(r.URL.String(), target+"/")
+		},
+	}}, nil
 }
 
 // runShard builds shard i of n and serves its RPC on listen.

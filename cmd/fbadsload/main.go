@@ -59,8 +59,11 @@ func main() {
 		interests   = flag.Int("interests", 18, "interest-set size per account (era cap is 25)")
 		concurrency = flag.Int("concurrency", 0, "in-flight requests (0 = one per core)")
 		era         = flag.String("era", "2017", "platform era for the in-process server: 2017, 2020 or workaround")
-		admitRate   = flag.Float64("admit-rate", 0, "in-process server's per-account admission limit in requests/second (0 = no admission control)")
+		admitRate   = flag.Float64("admit-rate", 0, "in-process server's per-account admission limit in tokens/second (0 = no admission control)")
 		admitBurst  = flag.Float64("admit-burst", 0, "admission token-bucket capacity (0 = 2x admit-rate)")
+		admitFlat   = flag.Bool("admit-flat", false, "charge a flat 1 token per request instead of spec-complexity cost")
+		maxInflight = flag.Int("max-inflight", 0, "in-process server's bound on concurrently served requests; excess shed with 503 + Retry-After (0 = unbounded)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request context deadline each probe carries (0 = none); expired probes tally as deadline_exceeded")
 		token       = flag.String("token", "", "access token sent with every request (and required by the in-process server when set)")
 		prewarm     = flag.Bool("prewarm-rows", false, "materialize the inclusion-row table before the run starts")
 		jsonOut     = flag.String("json", "", "write the run (or sweep) as a BENCH_serving.json baseline to this path")
@@ -93,6 +96,7 @@ func main() {
 		Concurrency:      *concurrency,
 		Seed:             cfg.Population.Seed,
 		AccessToken:      *token,
+		RequestTimeout:   *reqTimeout,
 	}
 
 	type runResult struct {
@@ -116,7 +120,7 @@ func main() {
 		start := time.Now()
 		var backend serving.ReachBackend
 		if n > 1 {
-			backend, err = serving.NewShardedBackend(*cfg, n)
+			backend, err = serving.NewShardedBackend(context.Background(), *cfg, n)
 		} else {
 			backend, err = serving.NewLocalBackendFromConfig(*cfg)
 		}
@@ -138,7 +142,14 @@ func main() {
 		}
 		handler := http.Handler(srv)
 		if *admitRate > 0 {
-			handler = serving.NewAdmission(serving.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst}, srv)
+			ac := serving.AdmissionConfig{Rate: *admitRate, Burst: *admitBurst}
+			if !*admitFlat {
+				ac.Cost = adsapi.AdmissionCost
+			}
+			handler = serving.NewAdmission(ac, handler)
+		}
+		if *maxInflight > 0 {
+			handler = serving.NewGate(serving.GateConfig{MaxInFlight: *maxInflight}, handler)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -208,8 +219,8 @@ func printRun(shards int, res loadgen.Result, target string) {
 	if res.Degraded > 0 {
 		degraded = fmt.Sprintf(" (%d degraded)", res.Degraded)
 	}
-	fmt.Printf("  %d requests in %v: %d ok%s, %d admission-rejected (429), %d rate-limited (code 17), %d errors\n",
-		res.Requests, res.Duration.Round(time.Millisecond), res.OK, degraded, res.Rejected, res.RateLimited, res.Errors)
+	fmt.Printf("  %d requests in %v: %d ok%s, %d admission-rejected (429), %d shed (503), %d rate-limited (code 17), %d deadline-exceeded, %d errors\n",
+		res.Requests, res.Duration.Round(time.Millisecond), res.OK, degraded, res.Rejected, res.Shed, res.RateLimited, res.DeadlineExceeded, res.Errors)
 	fmt.Printf("  throughput %.1f req/s, latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
 		res.Throughput, res.P50Ms, res.P95Ms, res.P99Ms)
 }

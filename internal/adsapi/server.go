@@ -1,6 +1,7 @@
 package adsapi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -128,7 +129,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		backend = local
 	}
 	if cfg.PrewarmRows {
-		backend.WarmRows()
+		// Construction-time warm-up has no caller to give up: Background is
+		// correct here, not a missing propagation.
+		backend.WarmRows(context.Background())
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -178,22 +181,36 @@ func (s *Server) requireAccount(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // ServeHTTP implements http.Handler. ReachBackend's share methods have no
-// error returns, so a network-sharded backend (serving.ProxyBackend) signals
-// an unservable topology by panicking with *serving.UnavailableError; the
-// recovery here turns that into a 503 whose JSON body names the down shards.
-// Handlers compute estimates before writing any response bytes, so the
-// recovery always finds an unwritten ResponseWriter.
+// error returns, so backends signal exceptional outcomes by panicking:
+// *serving.UnavailableError (unservable topology) becomes a 503 naming the
+// down shards, and *serving.CanceledError (the request context ended
+// mid-query) becomes 504 for an expired deadline or 503 for a client
+// cancel — the latter mostly for the log's benefit, since a canceled client
+// is no longer reading. Handlers compute estimates before writing any
+// response bytes, so the recovery always finds an unwritten ResponseWriter.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
-		if rec := recover(); rec != nil {
-			ue, ok := rec.(*serving.UnavailableError)
-			if !ok {
-				panic(rec)
-			}
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		switch e := rec.(type) {
+		case *serving.UnavailableError:
 			s.writeError(w, http.StatusServiceUnavailable, &APIError{
 				Code: CodeServiceUnavailable, Type: "ApiUnknownException",
 				Message: fmt.Sprintf("Service temporarily unavailable: %d shard(s) down: %s",
-					len(ue.Down), strings.Join(ue.Down, ", "))})
+					len(e.Down), strings.Join(e.Down, ", "))})
+		case *serving.CanceledError:
+			status := http.StatusServiceUnavailable
+			msg := "Request canceled before the estimate completed"
+			if errors.Is(e, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+				msg = "Request deadline exceeded before the estimate completed"
+			}
+			s.writeError(w, status, &APIError{
+				Code: CodeServiceUnavailable, Type: "ApiUnknownException", Message: msg})
+		default:
+			panic(rec)
 		}
 	}()
 	s.mux.ServeHTTP(w, r)
@@ -204,7 +221,9 @@ func (s *Server) Era() Era { return s.era }
 
 // AudienceStats snapshots the reach cache's hit/miss/eviction counters,
 // aggregated across the backend's shards.
-func (s *Server) AudienceStats() audience.Stats { return s.backend.AudienceStats() }
+func (s *Server) AudienceStats() audience.Stats {
+	return s.backend.AudienceStats(context.Background())
+}
 
 // Backend exposes the reach backend the server estimates through.
 func (s *Server) Backend() serving.ReachBackend { return s.backend }
@@ -334,17 +353,17 @@ func (s *Server) parseSpec(w http.ResponseWriter, raw string) (TargetingSpec, bo
 // containing at least one real member — matching the platform's behaviour of
 // counting actual users, since every combination the paper queries comes
 // from a real profile (§4.1).
-func (s *Server) estimateReach(spec TargetingSpec) (int64, error) {
+func (s *Server) estimateReach(ctx context.Context, spec TargetingSpec) (int64, error) {
 	clauses, err := spec.Clauses()
 	if err != nil {
 		return 0, err
 	}
 	filter := spec.DemoFilter()
-	base := float64(s.backend.Population())*s.backend.DemoShare(filter) - 1
+	base := float64(s.backend.Population())*s.backend.DemoShare(ctx, filter) - 1
 	if base < 0 {
 		base = 0
 	}
-	share := s.backend.UnionShare(clauses)
+	share := s.backend.UnionShare(ctx, clauses)
 	reach := int64(1 + base*share + 0.5)
 	if reach < s.era.MinReach {
 		reach = s.era.MinReach
@@ -360,7 +379,7 @@ func (s *Server) handleReachEstimate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	reach, err := s.estimateReach(spec)
+	reach, err := s.estimateReach(r.Context(), spec)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, &APIError{
 			Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
@@ -408,7 +427,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 				Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})
 			return
 		}
-		reach, err := s.estimateReach(params.Targeting)
+		reach, err := s.estimateReach(r.Context(), params.Targeting)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, &APIError{
 				Code: CodeInvalidParam, Type: "OAuthException", Message: err.Error()})

@@ -5,19 +5,28 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjectedFault is the transport error FlakyTransport returns for the
 // requests it drops.
 var ErrInjectedFault = errors.New("loadgen: injected transport fault")
 
-// FlakyTransport is an http.RoundTripper that deterministically fails a
-// fraction of requests before they reach the network — fault injection for
-// failover tests (a proxy losing RPCs, a load run losing requests) without
-// real sockets or timing. With FailEvery = n, every n-th round trip (the
-// n-th, 2n-th, ...) fails with ErrInjectedFault; the rest are delegated.
-// A FailPred takes precedence when set, failing exactly the requests it
-// matches. The zero value delegates everything.
+// FlakyTransport is an http.RoundTripper that deterministically faults a
+// fraction of requests — fault injection for failover and deadline tests (a
+// proxy losing RPCs, a slow shard eating the per-RPC budget) without real
+// sockets or real failures. Two independent fault axes:
+//
+//   - DROP: with FailEvery = n, every n-th round trip (the n-th, 2n-th, ...)
+//     fails with ErrInjectedFault before touching the network; a FailPred
+//     takes precedence when set, failing exactly the requests it matches.
+//   - DELAY: matched requests (DelayPred, or every DelayEvery-th when only
+//     Delay is set) sleep Delay before being delegated — the slow-shard
+//     chaos mode. The sleep honors the request's context: a caller whose
+//     deadline expires mid-delay gets the context error immediately, which
+//     is exactly the promptness the deadline-propagation tests gate.
+//
+// The zero value delegates everything.
 type FlakyTransport struct {
 	// Base performs the real round trips (default
 	// http.DefaultTransport).
@@ -29,9 +38,20 @@ type FlakyTransport struct {
 	// the FailEvery counter.
 	FailPred func(*http.Request) bool
 
-	calls  atomic.Int64
-	mu     sync.Mutex
-	failed int64
+	// Delay is how long a delay-matched request sleeps before delegating.
+	Delay time.Duration
+	// DelayEvery delays every n-th request when > 0; with Delay set and
+	// both DelayEvery and DelayPred unset, EVERY request is delayed.
+	DelayEvery int64
+	// DelayPred, when non-nil, selects the requests to delay and disables
+	// the DelayEvery counter.
+	DelayPred func(*http.Request) bool
+
+	calls      atomic.Int64
+	delayCalls atomic.Int64
+	mu         sync.Mutex
+	failed     int64
+	delayed    int64
 }
 
 // RoundTrip implements http.RoundTripper.
@@ -49,6 +69,29 @@ func (t *FlakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
 		t.mu.Unlock()
 		return nil, ErrInjectedFault
 	}
+	if t.Delay > 0 {
+		delay := false
+		switch {
+		case t.DelayPred != nil:
+			delay = t.DelayPred(r)
+		case t.DelayEvery > 0:
+			delay = t.delayCalls.Add(1)%t.DelayEvery == 0
+		default:
+			delay = true
+		}
+		if delay {
+			t.mu.Lock()
+			t.delayed++
+			t.mu.Unlock()
+			timer := time.NewTimer(t.Delay)
+			select {
+			case <-r.Context().Done():
+				timer.Stop()
+				return nil, r.Context().Err()
+			case <-timer.C:
+			}
+		}
+	}
 	base := t.Base
 	if base == nil {
 		base = http.DefaultTransport
@@ -61,4 +104,11 @@ func (t *FlakyTransport) Failed() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.failed
+}
+
+// Delayed reports how many round trips the transport has slowed.
+func (t *FlakyTransport) Delayed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delayed
 }

@@ -5,8 +5,10 @@
 // across accounts to dodge per-token limits). The runner measures what the
 // serving tier is benchmarked on — p50/p95/p99 latency and sustained
 // throughput — and classifies every response: admitted, admission-throttled
-// (HTTP 429 from internal/serving), platform rate-limited (FB code 17) or
-// errored.
+// (HTTP 429 from internal/serving), load-shed (HTTP 503 + Retry-After from
+// the concurrency gate — the server protecting itself, not breaking),
+// platform rate-limited (FB code 17), deadline-exceeded (HTTP 504 or a
+// request-level timeout) or errored.
 //
 // The workload is deterministic for a fixed Config: account a's interest
 // set comes from the derived stream "account-<a>" of the master seed, and
@@ -70,6 +72,13 @@ type Config struct {
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
 
+	// RequestTimeout, when positive, puts a per-request context deadline
+	// on every probe. The server propagates it through the serving stack
+	// (adsapi handler context → proxy scatter-gather → shard RPCs), so a
+	// run with a tight RequestTimeout measures deadline behaviour, not
+	// just client-side give-up. Expired probes tally as DeadlineExceeded.
+	RequestTimeout time.Duration
+
 	// Client overrides the HTTP client (tests aim it at an httptest
 	// server's transport). Nil uses a fresh client with Timeout.
 	Client *http.Client
@@ -77,18 +86,26 @@ type Config struct {
 
 // Result aggregates one load run.
 type Result struct {
-	Requests    int           `json:"requests"`
-	OK          int           `json:"ok"`
-	Degraded    int           `json:"degraded,omitempty"` // OK responses stamped "degraded": true (proxy renormalize)
-	Rejected    int           `json:"rejected"`           // HTTP 429 from admission control
-	RateLimited int           `json:"rate_limited"`       // FB error code 17 (per-token limiter)
-	Errors      int           `json:"errors"`
-	Duration    time.Duration `json:"-"`
-	DurationMs  float64       `json:"duration_ms"`
-	Throughput  float64       `json:"throughput_rps"`
-	P50Ms       float64       `json:"p50_ms"`
-	P95Ms       float64       `json:"p95_ms"`
-	P99Ms       float64       `json:"p99_ms"`
+	Requests    int `json:"requests"`
+	OK          int `json:"ok"`
+	Degraded    int `json:"degraded,omitempty"` // OK responses stamped "degraded": true (proxy renormalize)
+	Rejected    int `json:"rejected"`           // HTTP 429 from admission control
+	RateLimited int `json:"rate_limited"`       // FB error code 17 (per-token limiter)
+	// Shed counts 503s carrying Retry-After — the concurrency gate
+	// refusing an over-capacity request. Distinct from Errors: a shed
+	// request was answered by a healthy server protecting itself.
+	Shed int `json:"shed"`
+	// DeadlineExceeded counts probes that outran their deadline: HTTP 504
+	// (the serving stack abandoned the estimate) or a request-level
+	// timeout. Distinct from Errors (transport broke) and from Shed.
+	DeadlineExceeded int           `json:"deadline_exceeded"`
+	Errors           int           `json:"errors"`
+	Duration         time.Duration `json:"-"`
+	DurationMs       float64       `json:"duration_ms"`
+	Throughput       float64       `json:"throughput_rps"`
+	P50Ms            float64       `json:"p50_ms"`
+	P95Ms            float64       `json:"p95_ms"`
+	P99Ms            float64       `json:"p99_ms"`
 }
 
 func (c Config) withDefaults() Config {
@@ -135,10 +152,16 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	for i := range latencies {
 		latencies[i] = math.NaN()
 	}
-	var ok, degraded, rejected, rateLimited, failed atomic.Int64
+	var ok, degraded, rejected, rateLimited, shed, deadline, failed atomic.Int64
 	start := time.Now()
 	err := parallel.ForEach(ctx, n, parallel.Workers(cfg.Concurrency), func(i int) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, urls[i], nil)
+		rctx := ctx
+		if cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			rctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
+			defer cancel()
+		}
+		req, err := http.NewRequestWithContext(rctx, http.MethodGet, urls[i], nil)
 		if err != nil {
 			failed.Add(1)
 			return nil
@@ -146,13 +169,20 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		t0 := time.Now()
 		resp, err := client.Do(req)
 		if err != nil {
-			failed.Add(1)
+			// A timed-out probe is the deadline machinery working, not the
+			// transport breaking — but only while the RUN's context is
+			// live; a canceled run would misread every in-flight probe.
+			if ctx.Err() == nil && isTimeout(err) {
+				deadline.Add(1)
+			} else {
+				failed.Add(1)
+			}
 			return nil
 		}
 		latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		switch classify(resp.StatusCode, body) {
+		switch classify(resp.StatusCode, resp.Header, body) {
 		case outcomeOK:
 			ok.Add(1)
 			if isDegraded(body) {
@@ -162,6 +192,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			rejected.Add(1)
 		case outcomeRateLimited:
 			rateLimited.Add(1)
+		case outcomeShed:
+			shed.Add(1)
+		case outcomeDeadline:
+			deadline.Add(1)
 		default:
 			failed.Add(1)
 		}
@@ -173,14 +207,16 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		Requests:    n,
-		OK:          int(ok.Load()),
-		Degraded:    int(degraded.Load()),
-		Rejected:    int(rejected.Load()),
-		RateLimited: int(rateLimited.Load()),
-		Errors:      int(failed.Load()),
-		Duration:    elapsed,
-		DurationMs:  float64(elapsed) / float64(time.Millisecond),
+		Requests:         n,
+		OK:               int(ok.Load()),
+		Degraded:         int(degraded.Load()),
+		Rejected:         int(rejected.Load()),
+		RateLimited:      int(rateLimited.Load()),
+		Shed:             int(shed.Load()),
+		DeadlineExceeded: int(deadline.Load()),
+		Errors:           int(failed.Load()),
+		Duration:         elapsed,
+		DurationMs:       float64(elapsed) / float64(time.Millisecond),
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(n) / elapsed.Seconds()
@@ -263,17 +299,27 @@ const (
 	outcomeOK outcome = iota
 	outcomeRejected
 	outcomeRateLimited
+	outcomeShed
+	outcomeDeadline
 	outcomeError
 )
 
-// classify buckets a response: 200 OK, 429 admission rejection, FB code 17
-// per-token rate limit, anything else an error.
-func classify(status int, body []byte) outcome {
+// classify buckets a response: 200 OK, 429 admission rejection, 503 +
+// Retry-After load shed (a 503 WITHOUT Retry-After is a real outage — the
+// proxy's fail-policy 503 — and stays an error), 504 deadline exhaustion,
+// FB code 17 per-token rate limit, anything else an error.
+func classify(status int, header http.Header, body []byte) outcome {
 	switch status {
 	case http.StatusOK:
 		return outcomeOK
 	case http.StatusTooManyRequests:
 		return outcomeRejected
+	case http.StatusServiceUnavailable:
+		if header.Get("Retry-After") != "" {
+			return outcomeShed
+		}
+	case http.StatusGatewayTimeout:
+		return outcomeDeadline
 	}
 	var envelope struct {
 		Error adsapi.APIError `json:"error"`
@@ -282,4 +328,14 @@ func classify(status int, body []byte) outcome {
 		return outcomeRateLimited
 	}
 	return outcomeError
+}
+
+// isTimeout reports whether a transport error is a deadline expiring (the
+// per-request context or a net-level timeout) rather than a broken socket.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var uerr *url.Error
+	return errors.As(err, &uerr) && uerr.Timeout()
 }

@@ -23,6 +23,14 @@ type AdmissionConfig struct {
 	Rate float64
 	// Burst is the token-bucket capacity (default 2×Rate, minimum 1).
 	Burst float64
+	// Cost prices a request in tokens — wire serving.SpecCost through
+	// adsapi.AdmissionCost so a 20-interest flexible-spec union is charged
+	// its actual row-kernel work instead of the flat 1 a bare demographic
+	// probe costs. Nil charges every request 1 token (the legacy flat
+	// policy). Returns are clamped to [1, Burst]: a spec can never cost
+	// less than a request, and a single spec pricier than the whole bucket
+	// must still be admittable from a full bucket.
+	Cost func(*http.Request) float64
 	// Now supplies time; defaults to time.Now. Injectable for tests.
 	Now func() time.Time
 }
@@ -35,6 +43,10 @@ type AdmissionStats struct {
 	// the idle sweep. Their sum over time tracks distinct accounts seen.
 	Buckets int64
 	Evicted int64
+	// TokensCharged totals the cost of admitted requests — with a Cost
+	// function wired, TokensCharged/Admitted is the average spec
+	// complexity the server absorbed.
+	TokensCharged float64
 }
 
 // Admission is an http.Handler that applies per-account token buckets in
@@ -112,7 +124,17 @@ func (a *Admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := AccountKey(r)
-	retryAfter, ok := a.admit(key)
+	cost := 1.0
+	if a.cfg.Cost != nil {
+		cost = a.cfg.Cost(r)
+		if cost < 1 {
+			cost = 1
+		}
+		if cost > a.cfg.Burst {
+			cost = a.cfg.Burst
+		}
+	}
+	retryAfter, ok := a.admit(key, cost)
 	if !ok {
 		seconds := math.Ceil(retryAfter.Seconds())
 		if seconds < 1 {
@@ -137,9 +159,10 @@ func (a *Admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	a.next.ServeHTTP(w, r)
 }
 
-// admit charges one token from key's bucket. When the bucket is empty it
-// reports how long until the next token accrues.
-func (a *Admission) admit(key string) (retryAfter time.Duration, ok bool) {
+// admit charges cost tokens from key's bucket (cost is pre-clamped to
+// [1, Burst] by the caller). When the bucket cannot cover the cost it
+// reports how long until enough tokens accrue.
+func (a *Admission) admit(key string, cost float64) (retryAfter time.Duration, ok bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	now := a.cfg.Now()
@@ -154,13 +177,14 @@ func (a *Admission) admit(key string) (retryAfter time.Duration, ok bool) {
 		b.tokens = a.cfg.Burst
 	}
 	b.last = now
-	if b.tokens < 1 {
+	if b.tokens < cost {
 		a.stats.Rejected++
-		wait := (1 - b.tokens) / a.cfg.Rate
+		wait := (cost - b.tokens) / a.cfg.Rate
 		return time.Duration(wait * float64(time.Second)), false
 	}
-	b.tokens--
+	b.tokens -= cost
 	a.stats.Admitted++
+	a.stats.TokensCharged += cost
 	return 0, true
 }
 

@@ -29,6 +29,7 @@
 package serving
 
 import (
+	"context"
 	"errors"
 
 	"nanotarget/internal/audience"
@@ -41,6 +42,15 @@ import (
 // through. Implementations must be safe for concurrent use; every method
 // must be deterministic for a fixed backing configuration (the adsapi
 // golden and determinism suites ride on it).
+//
+// Every query method takes the caller's context — the adsapi handler passes
+// its request context so cancellation and deadlines propagate through the
+// whole serving stack. Local (CPU-bound) backends accept and ignore it;
+// network backends (ProxyBackend) thread it into every shard RPC, retry
+// sleep and backoff, and abandon work the caller no longer wants by
+// panicking with *CanceledError (recovered by the HTTP tier, like
+// *UnavailableError). Values are unaffected by the context: for any ctx
+// that stays live, results are byte-identical to an undeadlined one's.
 type ReachBackend interface {
 	// Catalog exposes the interest ecosystem for spec validation and
 	// /search.
@@ -48,23 +58,23 @@ type ReachBackend interface {
 	// Population is the total modeled user-base size across the backend.
 	Population() int64
 	// DemoShare returns the population share matching a demographic filter.
-	DemoShare(f population.DemoFilter) float64
+	DemoShare(ctx context.Context, f population.DemoFilter) float64
 	// UnionShare returns the population share matching a flexible-spec
 	// union of interest conjunctions.
-	UnionShare(clauses [][]interest.ID) float64
+	UnionShare(ctx context.Context, clauses [][]interest.ID) float64
 	// ConditionalAudience returns the §4.1 conditional audience expectation
 	// of a conjunction inside a demographic slice — 1 + max(0, Pop·demoShare
 	// − 1)·conjShare, the quantity the group-conditional Appendix C
 	// collection consumes. Sharded backends compose it from scatter-gathered
 	// shares: byte-identical to the local path at one shard, within the
 	// package's 1e-12 relative bound above it.
-	ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64
+	ConditionalAudience(ctx context.Context, f population.DemoFilter, ids []interest.ID) float64
 	// AudienceStats snapshots the backend's audience-cache counters,
 	// aggregated across shards.
-	AudienceStats() audience.Stats
+	AudienceStats(ctx context.Context) audience.Stats
 	// WarmRows materializes every shard's full inclusion-row table up
 	// front (population.Model.WarmAllRows).
-	WarmRows()
+	WarmRows(ctx context.Context)
 }
 
 // LocalBackend is the single-world ReachBackend: one model, one engine —
@@ -108,25 +118,29 @@ func (b *LocalBackend) Catalog() *interest.Catalog { return b.model.Catalog() }
 // Population implements ReachBackend.
 func (b *LocalBackend) Population() int64 { return b.model.Population() }
 
-// DemoShare implements ReachBackend.
-func (b *LocalBackend) DemoShare(f population.DemoFilter) float64 { return b.engine.DemoShare(f) }
+// DemoShare implements ReachBackend. The local engine is CPU-bound with no
+// cancellation points, so ctx is accepted for the contract and ignored —
+// a local evaluation finishes in microseconds either way.
+func (b *LocalBackend) DemoShare(_ context.Context, f population.DemoFilter) float64 {
+	return b.engine.DemoShare(f)
+}
 
-// UnionShare implements ReachBackend.
-func (b *LocalBackend) UnionShare(clauses [][]interest.ID) float64 {
+// UnionShare implements ReachBackend (ctx ignored; see DemoShare).
+func (b *LocalBackend) UnionShare(_ context.Context, clauses [][]interest.ID) float64 {
 	return b.engine.UnionShare(clauses)
 }
 
 // ConditionalAudience implements ReachBackend via the engine's composite
-// (DemoFilter, conjunction) demo-level cache.
-func (b *LocalBackend) ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64 {
+// (DemoFilter, conjunction) demo-level cache (ctx ignored; see DemoShare).
+func (b *LocalBackend) ConditionalAudience(_ context.Context, f population.DemoFilter, ids []interest.ID) float64 {
 	return b.engine.ExpectedAudienceConditional(f, ids)
 }
 
-// AudienceStats implements ReachBackend.
-func (b *LocalBackend) AudienceStats() audience.Stats { return b.engine.Stats() }
+// AudienceStats implements ReachBackend (ctx ignored; see DemoShare).
+func (b *LocalBackend) AudienceStats(context.Context) audience.Stats { return b.engine.Stats() }
 
-// WarmRows implements ReachBackend.
-func (b *LocalBackend) WarmRows() { b.model.WarmAllRows() }
+// WarmRows implements ReachBackend (ctx ignored; see DemoShare).
+func (b *LocalBackend) WarmRows(context.Context) { b.model.WarmAllRows() }
 
 // Model exposes the backing model (test and wiring use).
 func (b *LocalBackend) Model() *population.Model { return b.model }

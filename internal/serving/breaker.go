@@ -1,0 +1,177 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every call through (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails every call without touching the network.
+	BreakerOpen
+	// BreakerHalfOpen lets a bounded number of trial calls through; one
+	// success closes the breaker, one failure reopens it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig configures one shard's circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker fast-fails before letting
+	// half-open trial calls through (default 5s).
+	OpenTimeout time.Duration
+	// HalfOpenProbes bounds the concurrent trial calls admitted while
+	// half-open (default 1).
+	HalfOpenProbes int
+	// Now supplies time; defaults to time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// ErrBreakerOpen is the fast-fail error a denied call observes; it carries
+// no network cost, which is the breaker's whole point.
+type ErrBreakerOpen struct {
+	// Since is when the breaker last opened.
+	Since time.Time
+}
+
+// Error implements error.
+func (e *ErrBreakerOpen) Error() string {
+	return fmt.Sprintf("serving: circuit breaker open since %s", e.Since.Format(time.RFC3339))
+}
+
+// breaker is a per-shard closed/open/half-open circuit breaker. The proxy
+// consults it before every data RPC: while open, calls fast-fail in
+// microseconds instead of eating the full per-RPC timeout — the case the
+// health prober alone cannot cover is a FLAPPING shard whose health endpoint
+// answers (so probes keep resurrecting it) while its data RPCs time out.
+// Because of that, only data-path results drive the breaker; probe successes
+// do not reset it.
+//
+// Transitions: CLOSED counts consecutive failures and trips OPEN at the
+// threshold. OPEN fast-fails until OpenTimeout elapses, then admits up to
+// HalfOpenProbes concurrent trial calls (HALF-OPEN). A trial success closes
+// the breaker; a trial failure reopens it and restarts the timeout.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	inFlight int       // trial calls admitted while half-open
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. A denied call must not report
+// OnSuccess/OnFailure; an allowed one must report exactly one of them.
+func (b *breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return &ErrBreakerOpen{Since: b.openedAt}
+		}
+		b.state = BreakerHalfOpen
+		b.inFlight = 1
+		return nil
+	default: // half-open
+		if b.inFlight >= b.cfg.HalfOpenProbes {
+			return &ErrBreakerOpen{Since: b.openedAt}
+		}
+		b.inFlight++
+		return nil
+	}
+}
+
+// OnSuccess records an allowed call's success.
+func (b *breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.inFlight--
+	}
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// OnCanceled records that an allowed call ended because the CALLER's
+// context did — an outcome that says nothing about the shard's health, so
+// it only releases a half-open trial slot without moving the state or the
+// failure count.
+func (b *breaker) OnCanceled() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.inFlight--
+	}
+}
+
+// OnFailure records an allowed call's failure.
+func (b *breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The trial failed: reopen and restart the timeout.
+		b.inFlight--
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.Now()
+		}
+	}
+}
+
+// State snapshots the breaker position (resolving an elapsed open timeout
+// as half-open so diagnostics match what the next Allow would do).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,211 @@
+package serving
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newClockedBreaker(clock *fakeClock, cfg BreakerConfig) *breaker {
+	cfg.Now = clock.Now
+	return newBreaker(cfg)
+}
+
+// TestBreakerTripsAtThreshold pins the closed-state contract: failures below
+// the threshold keep passing calls, a success resets the consecutive count,
+// and the threshold-th consecutive failure trips the breaker open.
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(2000, 0)}
+	b := newClockedBreaker(clock, BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second})
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker denied call %d: %v", i, err)
+		}
+		b.OnFailure()
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("2 of 3 failures moved the breaker to %v", st)
+	}
+
+	// A success must reset the consecutive count: two more failures still
+	// don't trip.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.OnSuccess()
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.OnFailure()
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("success did not reset the failure count: state %v", st)
+	}
+
+	// The third consecutive failure trips it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.OnFailure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("threshold reached but state is %v", st)
+	}
+	err := b.Allow()
+	var open *ErrBreakerOpen
+	if !errors.As(err, &open) {
+		t.Fatalf("open breaker allowed a call (err %v)", err)
+	}
+	if !open.Since.Equal(clock.Now()) {
+		t.Fatalf("ErrBreakerOpen.Since = %v, tripped at %v", open.Since, clock.Now())
+	}
+}
+
+// TestBreakerHalfOpenTrialCloses walks the recovery path: an open breaker
+// fast-fails until the timeout elapses, then admits exactly HalfOpenProbes
+// concurrent trials, and one trial success closes it.
+func TestBreakerHalfOpenTrialCloses(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(3000, 0)}
+	b := newClockedBreaker(clock, BreakerConfig{FailureThreshold: 1, OpenTimeout: 5 * time.Second})
+
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.OnFailure() // threshold 1: one failure trips
+
+	clock.Advance(4 * time.Second)
+	if err := b.Allow(); err == nil {
+		t.Fatal("breaker allowed a call 1s before the open timeout elapsed")
+	}
+
+	clock.Advance(time.Second)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("elapsed open timeout reports state %v, want half-open", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker denied the trial call: %v", err)
+	}
+	// HalfOpenProbes defaults to 1: a second concurrent call is denied.
+	if err := b.Allow(); err == nil {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.OnSuccess()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("trial success left state %v", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker denied a call after recovery: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenTrialFailureReopens pins that a failed trial restarts
+// the FULL open timeout — a still-sick shard gets one probe per period, not
+// a thundering herd.
+func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(4000, 0)}
+	b := newClockedBreaker(clock, BreakerConfig{FailureThreshold: 1, OpenTimeout: 5 * time.Second})
+
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.OnFailure()
+	clock.Advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("trial denied: %v", err)
+	}
+	b.OnFailure() // the trial failed: reopen, timeout restarts NOW
+
+	clock.Advance(5*time.Second - time.Millisecond)
+	if err := b.Allow(); err == nil {
+		t.Fatal("reopened breaker allowed a call before a full new timeout elapsed")
+	}
+	clock.Advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second trial denied after the restarted timeout: %v", err)
+	}
+	b.OnSuccess()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %v after recovery", st)
+	}
+}
+
+// TestBreakerHalfOpenProbesBound covers HalfOpenProbes > 1 and the
+// OnCanceled slot release: cancellation frees a trial slot without moving
+// the state or feeding the failure count.
+func TestBreakerHalfOpenProbesBound(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(5000, 0)}
+	b := newClockedBreaker(clock, BreakerConfig{
+		FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenProbes: 2,
+	})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.OnFailure()
+	clock.Advance(time.Second)
+
+	if err := b.Allow(); err != nil {
+		t.Fatalf("trial 1 denied: %v", err)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("trial 2 denied with HalfOpenProbes=2: %v", err)
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("third concurrent trial admitted past HalfOpenProbes=2")
+	}
+
+	// A canceled trial releases its slot; the breaker stays half-open.
+	b.OnCanceled()
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("OnCanceled moved state to %v", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("slot freed by OnCanceled not re-admitted: %v", err)
+	}
+}
+
+// TestBreakerCanceledIsNeutralWhileClosed: caller cancellations say nothing
+// about shard health, so they neither advance nor reset the closed-state
+// failure count.
+func TestBreakerCanceledIsNeutralWhileClosed(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(6000, 0)}
+	b := newClockedBreaker(clock, BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second})
+
+	// Cancellations alone never trip.
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.OnCanceled()
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("cancellations tripped the breaker: %v", st)
+	}
+
+	// ...and they don't reset the consecutive-failure count either: two
+	// failures, a cancel, then a third failure still makes three consecutive.
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.OnFailure()
+	}
+	b.Allow()
+	b.OnCanceled()
+	b.Allow()
+	b.OnFailure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("cancel between failures reset the count: state %v", st)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package serving
+
+import (
+	"nanotarget/internal/interest"
+	"nanotarget/internal/population"
+)
+
+// SpecCost predicts the row-kernel work a validated targeting spec costs the
+// backend, in abstract "grid passes": the unit the cost-based admission
+// controller charges instead of a flat token per request.
+//
+// The prediction mirrors the evaluation structure exactly
+// (population.UnionConjunctionShare / audience.Engine.UnionShare):
+//
+//   - the demographic base is one pass (DemoShare is a closed-form product,
+//     charged as the baseline every estimate pays);
+//   - each non-trivial filter dimension (countries, genders, an age bound)
+//     adds one term — the per-dimension share lookups;
+//   - each flexible-spec clause multiplies one inclusion row per interest
+//     into the activity grid: len(clause) passes;
+//   - a multi-interest clause pays one extra fold pass (the miss-vector
+//     fold that turns per-row survivals into the clause share).
+//
+// A bare country probe costs 2; the paper's 18-interest conjunction costs
+// 2 + 18 + 1 = 21 — an order of magnitude more backend work, now charged as
+// such. TestSpecCostMatchesKernelWork gates this against an independent
+// count of the kernel's row loops.
+func SpecCost(f population.DemoFilter, clauses [][]interest.ID) float64 {
+	cost := 1.0
+	if len(f.Countries) > 0 {
+		cost++
+	}
+	if len(f.Genders) > 0 {
+		cost++
+	}
+	if f.AgeMin != 0 || f.AgeMax != 0 {
+		cost++
+	}
+	for _, clause := range clauses {
+		cost += float64(len(clause))
+		if len(clause) > 1 {
+			cost++ // the fold pass over the clause's miss vector
+		}
+	}
+	return cost
+}

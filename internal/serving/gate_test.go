@@ -1,0 +1,142 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateDisabledPassesThrough(t *testing.T) {
+	inner := &okHandler{}
+	g := NewGate(GateConfig{}, inner)
+	for i := 0; i < 5; i++ {
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, httptest.NewRequest("GET", "/v9.0/act_1/reachestimate", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d with the gate disabled", i, rec.Code)
+		}
+	}
+	if inner.served.Load() != 5 {
+		t.Fatalf("inner served %d of 5", inner.served.Load())
+	}
+}
+
+// TestGateShedShape pins the 503 contract: with every slot held, the excess
+// request is shed immediately with a Retry-After header and a LoadShed JSON
+// body — the shape loadgen classifies as "shed", distinct from both the
+// admission 429 and the fail-policy's bare 503.
+func TestGateShedShape(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	g := NewGate(GateConfig{MaxInFlight: 1, RetryAfter: 2 * time.Second}, inner)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v9.0/act_1/reachestimate", nil))
+	}()
+	<-entered // the single slot is now held
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v9.0/act_2/reachestimate", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity request got %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	var body shedError
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("503 body is not JSON: %v", err)
+	}
+	if body.Error.Type != "LoadShed" || body.Error.Code != http.StatusServiceUnavailable {
+		t.Fatalf("503 body = %+v", body.Error)
+	}
+	if body.Error.RetryAfterSeconds != 2 {
+		t.Fatalf("retry_after_seconds = %v, want 2", body.Error.RetryAfterSeconds)
+	}
+	if st := g.Stats(); st.Shed != 1 || st.InFlight != 1 {
+		t.Fatalf("mid-hold stats %+v, want 1 shed / 1 in flight", st)
+	}
+
+	close(release)
+	<-done
+	if st := g.Stats(); st.Admitted != 1 || st.Shed != 1 || st.InFlight != 0 {
+		t.Fatalf("final stats %+v, want 1 admitted / 1 shed / 0 in flight", st)
+	}
+
+	// With the slot free again, the next request is served (the released
+	// inner handler no longer blocks: release is closed).
+	rec = httptest.NewRecorder()
+	go func() { <-entered }()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v9.0/act_3/reachestimate", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release request got %d, want 200", rec.Code)
+	}
+}
+
+// TestGateBoundsConcurrency floods a small gate from many goroutines and
+// asserts the inner handler NEVER observes more than MaxInFlight concurrent
+// requests, while every request is either served or shed (nothing queues,
+// nothing is lost).
+func TestGateBoundsConcurrency(t *testing.T) {
+	const maxInFlight = 4
+	const total = 64
+	var cur, peak atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		w.WriteHeader(http.StatusOK)
+	})
+	g := NewGate(GateConfig{MaxInFlight: maxInFlight}, inner)
+
+	var served, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			g.ServeHTTP(rec, httptest.NewRequest("GET", "/v9.0/act_1/reachestimate", nil))
+			switch rec.Code {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if p := peak.Load(); p > maxInFlight {
+		t.Fatalf("inner handler saw %d concurrent requests, gate bound is %d", p, maxInFlight)
+	}
+	if served.Load()+shed.Load() != total {
+		t.Fatalf("%d served + %d shed != %d requests", served.Load(), shed.Load(), total)
+	}
+	if served.Load() == 0 {
+		t.Fatal("gate shed everything — nothing was served")
+	}
+	st := g.Stats()
+	if st.Admitted != served.Load() || st.Shed != shed.Load() {
+		t.Fatalf("stats %+v disagree with observed %d/%d", st, served.Load(), shed.Load())
+	}
+}

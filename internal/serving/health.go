@@ -62,6 +62,25 @@ func (e *UnavailableError) Error() string {
 		len(e.Down), strings.Join(e.Down, ", "))
 }
 
+// CanceledError reports that the caller's context ended (cancel or
+// deadline) before the backend finished the query. Like UnavailableError it
+// travels by panic — ReachBackend's share methods have no error returns —
+// and the HTTP tier recovers it: 504 for an expired deadline, 503 for a
+// plain cancel (adsapi.Server.ServeHTTP).
+type CanceledError struct {
+	// Err is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Err error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("serving: query abandoned: %v", e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is.
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 // ShardHealth is one shard's probe state.
 type ShardHealth struct {
 	Shard      int       `json:"shard"`
@@ -70,6 +89,9 @@ type ShardHealth struct {
 	LastError  string    `json:"last_error,omitempty"`
 	LastProbe  time.Time `json:"last_probe"`
 	LastChange time.Time `json:"last_change"`
+	// Breaker is the shard's circuit-breaker position ("closed", "open",
+	// "half-open") — data-path verdicts, orthogonal to probe-owned Up.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // HealthStats snapshots the proxy's view of the topology.
@@ -183,9 +205,16 @@ func (h *healthMonitor) snapshot() HealthStats {
 	return st
 }
 
-// HealthStats snapshots per-shard up/down state, last errors and probe
-// bookkeeping (timestamps come from the injectable clock).
-func (p *ProxyBackend) HealthStats() HealthStats { return p.health.snapshot() }
+// HealthStats snapshots per-shard up/down state, last errors, probe
+// bookkeeping (timestamps come from the injectable clock), and each shard's
+// circuit-breaker position.
+func (p *ProxyBackend) HealthStats() HealthStats {
+	st := p.health.snapshot()
+	for i := range st.Shards {
+		st.Shards[i].Breaker = p.breakers[i].State().String()
+	}
+	return st
+}
 
 // Degraded reports whether the proxy is currently serving renormalized
 // answers: PolicyRenormalize with at least one shard down. The adsapi server
@@ -200,14 +229,19 @@ func (p *ProxyBackend) Degraded() bool {
 // population — is checked against the proxy's own configuration, so a shard
 // serving the wrong world is treated as down rather than silently folded in.
 // Tests drive failover deterministically by calling ProbeNow directly;
-// production uses StartHealth.
-func (p *ProxyBackend) ProbeNow() {
+// production uses StartHealth, which hands its loop context down.
+//
+// Probe results deliberately do NOT feed the circuit breakers: the case the
+// breaker exists for is a flapping shard whose health endpoint answers (so
+// probes keep resurrecting it) while its data RPCs time out — only
+// data-path successes may close a breaker.
+func (p *ProxyBackend) ProbeNow(ctx context.Context) {
 	var wg sync.WaitGroup
 	for i := range p.urls {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := p.probeShard(i); err != nil {
+			if err := p.probeShard(ctx, i); err != nil {
 				p.health.markDown(i, err)
 			} else {
 				p.health.markUp(i)
@@ -220,9 +254,10 @@ func (p *ProxyBackend) ProbeNow() {
 	p.health.mu.Unlock()
 }
 
-// probeShard fetches and verifies one shard's health endpoint.
-func (p *ProxyBackend) probeShard(i int) error {
-	ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout)
+// probeShard fetches and verifies one shard's health endpoint under
+// min(caller deadline, probe timeout).
+func (p *ProxyBackend) probeShard(ctx context.Context, i int) error {
+	ctx, cancel := context.WithTimeout(ctx, p.probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.urls[i]+shardPathHealth, nil)
 	if err != nil {
@@ -271,7 +306,7 @@ func (p *ProxyBackend) StartHealth(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				p.ProbeNow()
+				p.ProbeNow(ctx)
 			}
 		}
 	}()

@@ -141,12 +141,12 @@ func TestProxyFailoverRenormalizeVsFail(t *testing.T) {
 	shard1 := startRestartableShard(t, s1)
 	urls := []string{shard0.URL(), shard1.URL()}
 
-	sharded, err := NewShardedBackend(cfg, 2)
+	sharded, err := NewShardedBackend(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	clauses := [][]interest.ID{{1, 2}, {3}}
-	want := sharded.UnionShare(clauses)
+	want := sharded.UnionShare(context.Background(), clauses)
 
 	clock := &fakeClock{t: time.Unix(1000, 0)}
 	renorm := newTestProxy(t, cfg, urls, ProxyConfig{
@@ -161,8 +161,8 @@ func TestProxyFailoverRenormalizeVsFail(t *testing.T) {
 	// Healthy topology: both policies serve the exact sharded answer and
 	// report nothing degraded.
 	for _, p := range []*ProxyBackend{renorm, failing} {
-		p.ProbeNow()
-		if got := p.UnionShare(clauses); got != want {
+		p.ProbeNow(context.Background())
+		if got := p.UnionShare(context.Background(), clauses); got != want {
 			t.Fatalf("healthy proxy share = %v, want %v", got, want)
 		}
 		if p.Degraded() {
@@ -184,8 +184,8 @@ func TestProxyFailoverRenormalizeVsFail(t *testing.T) {
 	// (In this simulator the shard models are share-calibrated, so the
 	// survivor's share happens to equal the full answer too — the assert
 	// pins the fold to the survivor, the Degraded flag records the honesty.)
-	got := renorm.UnionShare(clauses)
-	if wantLive := b0.UnionShare(clauses); got != wantLive {
+	got := renorm.UnionShare(context.Background(), clauses)
+	if wantLive := b0.UnionShare(context.Background(), clauses); got != wantLive {
 		t.Fatalf("degraded share = %v, want live shard's %v", got, wantLive)
 	}
 	if !renorm.Degraded() {
@@ -198,18 +198,18 @@ func TestProxyFailoverRenormalizeVsFail(t *testing.T) {
 
 	// Fail: the probe round records the death, then the query refuses,
 	// naming the dead shard's URL.
-	failing.ProbeNow()
+	failing.ProbeNow(context.Background())
 	if fs := failing.HealthStats(); fs.Down != 1 || fs.Shards[1].Up {
 		t.Fatalf("fail-policy probe missed the dead shard: %+v", fs)
 	}
-	ue := expectUnavailable(t, func() { failing.UnionShare(clauses) })
+	ue := expectUnavailable(t, func() { failing.UnionShare(context.Background(), clauses) })
 	if len(ue.Down) != 1 || ue.Down[0] != shard1.URL() {
 		t.Fatalf("UnavailableError names %v, want [%s]", ue.Down, shard1.URL())
 	}
 
 	// The data path must NOT resurrect a shard: queries against the still
 	// renormalizing proxy leave shard 1 down.
-	renorm.UnionShare(clauses)
+	renorm.UnionShare(context.Background(), clauses)
 	if !renorm.Degraded() {
 		t.Fatal("shard came back without a probe")
 	}
@@ -219,11 +219,11 @@ func TestProxyFailoverRenormalizeVsFail(t *testing.T) {
 	shard1.Restart()
 	clock.Advance(time.Second)
 	for _, p := range []*ProxyBackend{renorm, failing} {
-		p.ProbeNow()
+		p.ProbeNow(context.Background())
 		if p.Degraded() {
 			t.Fatalf("proxy still degraded after restart: %+v", p.HealthStats())
 		}
-		if got := p.UnionShare(clauses); got != want {
+		if got := p.UnionShare(context.Background(), clauses); got != want {
 			t.Fatalf("post-restart share = %v, want %v", got, want)
 		}
 	}
@@ -240,7 +240,7 @@ func TestProxyAllShardsDown(t *testing.T) {
 		Sleep: func(ctx context.Context, d time.Duration) error { return nil },
 	})
 	shard.Kill()
-	ue := expectUnavailable(t, func() { proxy.DemoShare(population.DemoFilter{}) })
+	ue := expectUnavailable(t, func() { proxy.DemoShare(context.Background(), population.DemoFilter{}) })
 	if len(ue.Down) != 1 {
 		t.Fatalf("UnavailableError names %v", ue.Down)
 	}
@@ -256,7 +256,7 @@ func TestProbeRejectsWrongIdentity(t *testing.T) {
 	ts := httptest.NewServer(wrongIndex)
 	defer ts.Close()
 	proxy := newTestProxy(t, cfg, []string{ts.URL}, ProxyConfig{})
-	proxy.ProbeNow()
+	proxy.ProbeNow(context.Background())
 	st := proxy.HealthStats()
 	if st.Down != 1 {
 		t.Fatalf("identity mismatch not detected: %+v", st)
@@ -269,7 +269,7 @@ func TestProbeRejectsWrongIdentity(t *testing.T) {
 	ts2 := httptest.NewServer(otherWorld)
 	defer ts2.Close()
 	proxy2 := newTestProxy(t, cfg, []string{ts2.URL}, ProxyConfig{})
-	proxy2.ProbeNow()
+	proxy2.ProbeNow(context.Background())
 	if proxy2.HealthStats().Down != 1 {
 		t.Fatalf("world mismatch not detected: %+v", proxy2.HealthStats())
 	}

@@ -2,7 +2,16 @@
 // `-proxy`. A ShardServer exposes one shard's reach primitives over a small
 // JSON-over-HTTP RPC; a ProxyBackend implements ReachBackend by
 // scatter-gathering those RPCs across N shard processes with per-RPC
-// timeouts, bounded retry, and health-checked degradation (health.go).
+// timeouts, bounded retry, health-checked degradation (health.go) and
+// per-shard circuit breakers (breaker.go).
+//
+// # Deadline propagation
+//
+// Every proxy query threads the caller's context end to end: retry backoff
+// sleeps select on it, each RPC attempt runs under min(caller deadline,
+// per-RPC timeout), and the remaining budget crosses the wire in an
+// X-Deadline-Ms header so a ShardServer abandons work whose caller has
+// already given up (responding 504, which the proxy treats as permanent).
 //
 // # Exactness
 //
@@ -26,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +45,13 @@ import (
 	"nanotarget/internal/population"
 	"nanotarget/internal/worldcfg"
 )
+
+// DeadlineHeader carries the caller's remaining deadline budget, in whole
+// milliseconds, on every shard RPC the proxy issues under a deadline. A
+// ShardServer honors it by serving the request under that timeout and
+// answering 504 once it expires — cooperative cancellation across the
+// process boundary, where the caller's context cannot reach.
+const DeadlineHeader = "X-Deadline-Ms"
 
 // Shard RPC paths (all rooted under /shard/v1).
 const (
@@ -160,8 +177,36 @@ func NewShardServer(b *LocalBackend, info ShardInfo) (*ShardServer, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *ShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. A DeadlineHeader on the request scopes
+// its context to the forwarded budget, so the share handlers can abandon
+// work whose caller has stopped waiting (answering 504, see
+// deadlineExpired).
+func (s *ShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if raw := r.Header.Get(DeadlineHeader); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s header %q", DeadlineHeader, raw))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// deadlineExpired reports — and answers 504 for — a request whose context
+// is already dead when its handler reaches the compute step: the caller
+// stopped waiting (forwarded deadline expired or connection dropped), so
+// evaluating the share is pure waste. The proxy treats the 504 as a
+// permanent RPC failure (no retry).
+func (s *ShardServer) deadlineExpired(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exhausted before compute: "+err.Error())
+		return true
+	}
+	return false
+}
 
 // Backend exposes the shard's LocalBackend (test and wiring use).
 func (s *ShardServer) Backend() *LocalBackend { return s.backend }
@@ -237,27 +282,27 @@ func (s *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *ShardServer) handleDemoShare(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeShareRequest(w, r)
-	if !ok {
+	if !ok || s.deadlineExpired(w, r) {
 		return
 	}
 	var f population.DemoFilter
 	if req.Filter != nil {
 		f = *req.Filter
 	}
-	s.writeJSON(w, shardShareResponse{Share: s.backend.DemoShare(f)})
+	s.writeJSON(w, shardShareResponse{Share: s.backend.DemoShare(r.Context(), f)})
 }
 
 func (s *ShardServer) handleUnionShare(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeShareRequest(w, r)
-	if !ok {
+	if !ok || s.deadlineExpired(w, r) {
 		return
 	}
-	s.writeJSON(w, shardShareResponse{Share: s.backend.UnionShare(req.Clauses)})
+	s.writeJSON(w, shardShareResponse{Share: s.backend.UnionShare(r.Context(), req.Clauses)})
 }
 
 func (s *ShardServer) handleConjunctionShare(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeShareRequest(w, r)
-	if !ok {
+	if !ok || s.deadlineExpired(w, r) {
 		return
 	}
 	s.writeJSON(w, shardShareResponse{Share: s.backend.Engine().ConjunctionShare(req.IDs)})
@@ -272,7 +317,7 @@ func (s *ShardServer) handleConjunctionShare(w http.ResponseWriter, r *http.Requ
 // /conjunctionshare instead).
 func (s *ShardServer) handleConditionalAudience(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeShareRequest(w, r)
-	if !ok {
+	if !ok || s.deadlineExpired(w, r) {
 		return
 	}
 	var f population.DemoFilter
@@ -285,7 +330,7 @@ func (s *ShardServer) handleConditionalAudience(w http.ResponseWriter, r *http.R
 	}
 	var v float64
 	if req.Population == 0 || req.Population == s.backend.Population() {
-		v = s.backend.ConditionalAudience(f, req.IDs)
+		v = s.backend.ConditionalAudience(r.Context(), f, req.IDs)
 	} else {
 		e := s.backend.Engine()
 		base := float64(req.Population)*e.DemoShare(f) - 1
@@ -298,11 +343,14 @@ func (s *ShardServer) handleConditionalAudience(w http.ResponseWriter, r *http.R
 }
 
 func (s *ShardServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, s.backend.AudienceStats())
+	s.writeJSON(w, s.backend.AudienceStats(r.Context()))
 }
 
 func (s *ShardServer) handleWarmRows(w http.ResponseWriter, r *http.Request) {
-	s.backend.WarmRows()
+	if s.deadlineExpired(w, r) {
+		return
+	}
+	s.backend.WarmRows(r.Context())
 	s.writeJSON(w, map[string]string{"status": "ok"})
 }
 
@@ -327,6 +375,11 @@ type ProxyConfig struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one health probe (default 2s).
 	ProbeTimeout time.Duration
+	// Breaker configures the per-shard circuit breakers (breaker.go). The
+	// zero value takes the defaults: trip open after 5 consecutive
+	// data-RPC failures, fast-fail for 5s, then one half-open trial. Its
+	// Now falls back to ProxyConfig.Now.
+	Breaker BreakerConfig
 	// Client overrides the HTTP client — tests inject flaky transports
 	// through it. Nil uses a plain client (per-request contexts carry the
 	// timeouts).
@@ -365,7 +418,8 @@ type ProxyBackend struct {
 	client        *http.Client
 	sleep         func(ctx context.Context, d time.Duration) error
 
-	health *healthMonitor
+	health   *healthMonitor
+	breakers []*breaker
 }
 
 // NewProxyBackend builds the proxy's local view of the world described by
@@ -431,6 +485,13 @@ func NewProxyBackend(cfg worldcfg.Config, pc ProxyConfig) (*ProxyBackend, error)
 		r := ShardRange{Lo: pop * int64(i) / int64(n), Hi: pop * int64(i+1) / int64(n)}
 		weights[i] = float64(r.Size()) / float64(pop)
 	}
+	if pc.Breaker.Now == nil {
+		pc.Breaker.Now = pc.Now
+	}
+	breakers := make([]*breaker, n)
+	for i := range breakers {
+		breakers[i] = newBreaker(pc.Breaker)
+	}
 	return &ProxyBackend{
 		catalog:       cat,
 		pop:           pop,
@@ -445,6 +506,7 @@ func NewProxyBackend(cfg worldcfg.Config, pc ProxyConfig) (*ProxyBackend, error)
 		client:        pc.Client,
 		sleep:         pc.Sleep,
 		health:        newHealthMonitor(urls, pc.Now),
+		breakers:      breakers,
 	}, nil
 }
 
@@ -465,23 +527,24 @@ func (p *ProxyBackend) Catalog() *interest.Catalog { return p.catalog }
 func (p *ProxyBackend) Population() int64 { return p.pop }
 
 // DemoShare implements ReachBackend. Like every proxy share method it panics
-// with *UnavailableError when the topology cannot serve under the policy.
-func (p *ProxyBackend) DemoShare(f population.DemoFilter) float64 {
-	return p.gatherShare(shardPathDemo, shardShareRequest{Filter: &f})
+// with *UnavailableError when the topology cannot serve under the policy,
+// and with *CanceledError when the caller's context ends mid-gather.
+func (p *ProxyBackend) DemoShare(ctx context.Context, f population.DemoFilter) float64 {
+	return p.gatherShare(ctx, shardPathDemo, shardShareRequest{Filter: &f})
 }
 
 // UnionShare implements ReachBackend.
-func (p *ProxyBackend) UnionShare(clauses [][]interest.ID) float64 {
-	return p.gatherShare(shardPathUnion, shardShareRequest{Clauses: clauses})
+func (p *ProxyBackend) UnionShare(ctx context.Context, clauses [][]interest.ID) float64 {
+	return p.gatherShare(ctx, shardPathUnion, shardShareRequest{Clauses: clauses})
 }
 
 // ConditionalAudience implements ReachBackend: both factor shares are
 // scatter-gathered and composed with the GLOBAL population — the identical
 // arithmetic ShardedBackend.ConditionalAudience applies, so healthy-topology
 // answers match it byte-for-byte.
-func (p *ProxyBackend) ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64 {
-	demo := p.gatherShare(shardPathDemo, shardShareRequest{Filter: &f})
-	conj := p.gatherShare(shardPathConj, shardShareRequest{IDs: ids})
+func (p *ProxyBackend) ConditionalAudience(ctx context.Context, f population.DemoFilter, ids []interest.ID) float64 {
+	demo := p.gatherShare(ctx, shardPathDemo, shardShareRequest{Filter: &f})
+	conj := p.gatherShare(ctx, shardPathConj, shardShareRequest{IDs: ids})
 	base := float64(p.pop)*demo - 1
 	if base < 0 {
 		base = 0
@@ -492,12 +555,12 @@ func (p *ProxyBackend) ConditionalAudience(f population.DemoFilter, ids []intere
 // AudienceStats implements ReachBackend: the fold of every reachable shard's
 // cache counters (stats are diagnostics — unreachable shards contribute
 // nothing rather than failing the call).
-func (p *ProxyBackend) AudienceStats() audience.Stats {
+func (p *ProxyBackend) AudienceStats(ctx context.Context) audience.Stats {
 	n := len(p.urls)
 	stats := make([]*audience.Stats, n)
-	_ = parallel.ForEach(context.Background(), n, n, func(i int) error {
+	_ = parallel.ForEach(ctx, n, n, func(i int) error {
 		var st audience.Stats
-		if err := p.call(i, http.MethodGet, shardPathStats, nil, &st); err == nil {
+		if err := p.call(ctx, i, http.MethodGet, shardPathStats, nil, &st); err == nil {
 			stats[i] = &st
 		}
 		return nil
@@ -513,10 +576,10 @@ func (p *ProxyBackend) AudienceStats() audience.Stats {
 
 // WarmRows implements ReachBackend: best-effort — every reachable shard
 // materializes its full inclusion-row table.
-func (p *ProxyBackend) WarmRows() {
+func (p *ProxyBackend) WarmRows(ctx context.Context) {
 	n := len(p.urls)
-	_ = parallel.ForEach(context.Background(), n, n, func(i int) error {
-		_ = p.call(i, http.MethodPost, shardPathWarm, &shardShareRequest{}, nil)
+	_ = parallel.ForEach(ctx, n, n, func(i int) error {
+		_ = p.call(ctx, i, http.MethodPost, shardPathWarm, &shardShareRequest{}, nil)
 		return nil
 	})
 }
@@ -529,11 +592,17 @@ func (p *ProxyBackend) WarmRows() {
 //   - PolicyFail and anything down or failing: panic *UnavailableError
 //     (the HTTP tier's 503);
 //   - PolicyRenormalize: down shards are skipped, shards whose RPC fails
-//     (after retries) are marked down and excluded, and the live terms are
-//     renormalized — Σ_live weight_s · share_s / Σ_live weight_s, or the
-//     bare share when a single shard survives. Zero live shards panic
-//     *UnavailableError.
-func (p *ProxyBackend) gatherShare(path string, req shardShareRequest) float64 {
+//     (after retries) are marked down and excluded, shards whose circuit
+//     breaker is open fast-fail and are excluded WITHOUT being marked down
+//     (the breaker, not the prober, owns that verdict — see call), and the
+//     live terms are renormalized — Σ_live weight_s · share_s / Σ_live
+//     weight_s, or the bare share when a single shard survives. Zero live
+//     shards panic *UnavailableError.
+//
+// The caller's ctx threads into every RPC; if it ends mid-gather the method
+// panics *CanceledError instead of folding partial answers, and the
+// failures it caused are not held against the shards.
+func (p *ProxyBackend) gatherShare(ctx context.Context, path string, req shardShareRequest) float64 {
 	n := len(p.urls)
 	down, downURLs := p.health.downShards()
 	if p.policy == PolicyFail && len(downURLs) > 0 {
@@ -541,20 +610,29 @@ func (p *ProxyBackend) gatherShare(path string, req shardShareRequest) float64 {
 	}
 	shares := make([]float64, n)
 	errs := make([]error, n)
-	_ = parallel.ForEach(context.Background(), n, n, func(i int) error {
+	_ = parallel.ForEach(ctx, n, n, func(i int) error {
 		if down[i] {
 			errs[i] = errors.New("skipped: marked down")
 			return nil
 		}
 		var out shardShareResponse
-		if err := p.call(i, http.MethodPost, path, &req, &out); err != nil {
+		if err := p.call(ctx, i, http.MethodPost, path, &req, &out); err != nil {
 			errs[i] = err
-			p.health.markDown(i, err)
+			// A shard is only marked down for ITS failures: a gather that
+			// died because the caller gave up says nothing about shard
+			// health, and a breaker fast-fail never touched the network.
+			var open *ErrBreakerOpen
+			if ctx.Err() == nil && !errors.As(err, &open) {
+				p.health.markDown(i, err)
+			}
 			return nil
 		}
 		shares[i] = out.Share
 		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		panic(&CanceledError{Err: err})
+	}
 
 	var failedURLs []string
 	live := 0
@@ -597,10 +675,34 @@ func (p *ProxyBackend) gatherShare(path string, req shardShareRequest) float64 {
 	return total / mass
 }
 
-// call performs one shard RPC with bounded retry: network errors and 5xx
-// retry with exponential backoff (RetryBase doubled per attempt) up to
-// MaxRetries; 4xx responses are permanent.
-func (p *ProxyBackend) call(shard int, method, path string, in, out any) error {
+// call performs one shard RPC under the shard's circuit breaker, with
+// bounded retry: network errors and 5xx retry with exponential backoff
+// (RetryBase doubled per attempt, the sleep ctx-aware) up to MaxRetries;
+// 4xx responses and 504 are permanent — a 504 means the shard abandoned
+// the request because the forwarded deadline expired, so retrying it burns
+// budget the caller no longer has. The whole call is one breaker unit:
+// an open breaker fails it in microseconds with *ErrBreakerOpen (no
+// network); otherwise its final outcome feeds OnSuccess/OnFailure — unless
+// the caller's ctx ended, which says nothing about the shard.
+func (p *ProxyBackend) call(ctx context.Context, shard int, method, path string, in, out any) error {
+	br := p.breakers[shard]
+	if err := br.Allow(); err != nil {
+		return err
+	}
+	err := p.callRetrying(ctx, shard, method, path, in, out)
+	switch {
+	case err == nil:
+		br.OnSuccess()
+	case ctx.Err() != nil:
+		br.OnCanceled()
+	default:
+		br.OnFailure()
+	}
+	return err
+}
+
+// callRetrying is call's retry loop, below the breaker.
+func (p *ProxyBackend) callRetrying(ctx context.Context, shard int, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -613,17 +715,25 @@ func (p *ProxyBackend) call(shard int, method, path string, in, out any) error {
 	wait := p.retryBase
 	for attempt := 0; attempt <= p.maxRetries; attempt++ {
 		if attempt > 0 {
-			if err := p.sleep(context.Background(), wait); err != nil {
+			if err := p.sleep(ctx, wait); err != nil {
 				return err
 			}
 			wait *= 2
 		}
-		data, status, err := p.roundTrip(method, url, body)
+		data, status, err := p.roundTrip(ctx, method, url, body)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The caller is gone: retrying can only waste shard work.
+				return err
+			}
 			lastErr = err
 			continue
 		}
 		switch {
+		case status == http.StatusGatewayTimeout:
+			// The shard honored the forwarded deadline and gave up.
+			return fmt.Errorf("serving: shard %d %s: HTTP %d: deadline exhausted: %s",
+				shard, path, status, truncate(data))
 		case status >= 500:
 			lastErr = fmt.Errorf("HTTP %d: %s", status, truncate(data))
 			continue
@@ -645,20 +755,29 @@ func (p *ProxyBackend) call(shard int, method, path string, in, out any) error {
 	return fmt.Errorf("serving: shard %d %s: retries exhausted: %w", shard, path, lastErr)
 }
 
-// roundTrip performs one HTTP attempt under the per-RPC timeout.
-func (p *ProxyBackend) roundTrip(method, url string, body []byte) ([]byte, int, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+// roundTrip performs one HTTP attempt under min(caller deadline, per-RPC
+// timeout) — context.WithTimeout never extends an earlier parent deadline —
+// and forwards the remaining budget to the shard as the DeadlineHeader.
+func (p *ProxyBackend) roundTrip(ctx context.Context, method, url string, body []byte) ([]byte, int, error) {
+	rctx, cancel := context.WithTimeout(ctx, p.timeout)
 	defer cancel()
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, url, rdr)
+	req, err := http.NewRequestWithContext(rctx, method, url, rdr)
 	if err != nil {
 		return nil, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if d, ok := rctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {

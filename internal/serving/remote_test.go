@@ -19,6 +19,13 @@ import (
 // startShardTopology boots count in-process httptest shard servers for cfg
 // and returns their base URLs in shard order (cleanup via t.Cleanup).
 func startShardTopology(t *testing.T, cfg worldcfg.Config, count int) []string {
+	return startWrappedShardTopology(t, cfg, count, func(h http.Handler) http.Handler { return h })
+}
+
+// startWrappedShardTopology is startShardTopology with per-shard middleware —
+// tests wrap the shard RPC in the Gate/Admission stack a production shard
+// deploys behind.
+func startWrappedShardTopology(t *testing.T, cfg worldcfg.Config, count int, wrap func(http.Handler) http.Handler) []string {
 	t.Helper()
 	urls := make([]string, count)
 	for i := 0; i < count; i++ {
@@ -30,7 +37,7 @@ func startShardTopology(t *testing.T, cfg worldcfg.Config, count int) []string {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts := httptest.NewServer(srv)
+		ts := httptest.NewServer(wrap(srv))
 		t.Cleanup(ts.Close)
 		urls[i] = ts.URL
 	}
@@ -57,16 +64,32 @@ func newTestProxy(t *testing.T, cfg worldcfg.Config, urls []string, pc ProxyConf
 // {1,2,3} × seeds {0,1,42}. This is the whole exactness argument for the
 // topology: per-shard shares survive the JSON hop exactly, and the proxy
 // folds them with ShardedBackend's arithmetic.
+//
+// The full robustness stack is deliberately LIVE while the property runs —
+// per-shard circuit breakers at their twitchiest (threshold 1) on the proxy,
+// and every shard behind the production Gate + cost-charging Admission
+// middleware — proving the protection layers are bit-transparent on the
+// healthy path.
 func TestProxyMatchesShardedBackend(t *testing.T) {
 	for _, seed := range []uint64{0, 1, 42} {
 		cfg := smallConfig(seed)
 		for _, shards := range []int{1, 2, 3} {
-			sharded, err := NewShardedBackend(cfg, shards)
+			sharded, err := NewShardedBackend(context.Background(), cfg, shards)
 			if err != nil {
 				t.Fatal(err)
 			}
-			urls := startShardTopology(t, cfg, shards)
-			proxy := newTestProxy(t, cfg, urls, ProxyConfig{})
+			urls := startWrappedShardTopology(t, cfg, shards, func(h http.Handler) http.Handler {
+				// Generous limits: the stack must engage (keys resolve,
+				// tokens charge, slots count) without ever rejecting.
+				return NewGate(GateConfig{MaxInFlight: 32},
+					NewAdmission(AdmissionConfig{
+						Rate: 1e6, Burst: 1e6,
+						Cost: func(*http.Request) float64 { return 2 },
+					}, h))
+			})
+			proxy := newTestProxy(t, cfg, urls, ProxyConfig{
+				Breaker: BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour},
+			})
 			if proxy.Population() != sharded.Population() {
 				t.Fatalf("population mismatch: %d vs %d", proxy.Population(), sharded.Population())
 			}
@@ -76,17 +99,17 @@ func TestProxyMatchesShardedBackend(t *testing.T) {
 			r := rng.New(seed).Derive("proxy-property-queries")
 			for trial := 0; trial < 25; trial++ {
 				clauses := randomClauses(r, cfg.Population.CatalogSize)
-				if got, want := proxy.UnionShare(clauses), sharded.UnionShare(clauses); got != want {
+				if got, want := proxy.UnionShare(context.Background(), clauses), sharded.UnionShare(context.Background(), clauses); got != want {
 					t.Fatalf("seed %d shards=%d trial %d: proxy UnionShare = %v, sharded %v — must be byte-identical",
 						seed, shards, trial, got, want)
 				}
 				f := randomFilter(r)
-				if got, want := proxy.DemoShare(f), sharded.DemoShare(f); got != want {
+				if got, want := proxy.DemoShare(context.Background(), f), sharded.DemoShare(context.Background(), f); got != want {
 					t.Fatalf("seed %d shards=%d trial %d: proxy DemoShare = %v, sharded %v — must be byte-identical",
 						seed, shards, trial, got, want)
 				}
 				conj := clauses[0]
-				if got, want := proxy.ConditionalAudience(f, conj), sharded.ConditionalAudience(f, conj); got != want {
+				if got, want := proxy.ConditionalAudience(context.Background(), f, conj), sharded.ConditionalAudience(context.Background(), f, conj); got != want {
 					t.Fatalf("seed %d shards=%d trial %d: proxy ConditionalAudience = %v, sharded %v — must be byte-identical",
 						seed, shards, trial, got, want)
 				}
@@ -102,11 +125,11 @@ func TestProxyStatsAndWarmRows(t *testing.T) {
 	cfg := smallConfig(1)
 	urls := startShardTopology(t, cfg, 2)
 	proxy := newTestProxy(t, cfg, urls, ProxyConfig{})
-	proxy.WarmRows()
+	proxy.WarmRows(context.Background())
 	clauses := [][]interest.ID{{1}, {3}}
-	proxy.UnionShare(clauses)
-	proxy.UnionShare(clauses)
-	st := proxy.AudienceStats()
+	proxy.UnionShare(context.Background(), clauses)
+	proxy.UnionShare(context.Background(), clauses)
+	st := proxy.AudienceStats(context.Background())
 	if st.Prefix.Misses+st.Set.Misses == 0 {
 		t.Fatalf("no misses recorded across shards: %+v", st)
 	}
@@ -173,11 +196,11 @@ func TestShardServerEndpoints(t *testing.T) {
 	var out shardShareResponse
 	f := randomFilter(rng.New(9))
 	postJSON(t, ts.URL+shardPathDemo, shardShareRequest{Filter: &f}, &out)
-	if want := b.DemoShare(f); out.Share != want {
+	if want := b.DemoShare(context.Background(), f); out.Share != want {
 		t.Fatalf("DemoShare over RPC = %v, local %v", out.Share, want)
 	}
 	postJSON(t, ts.URL+shardPathUnion, shardShareRequest{Clauses: [][]interest.ID{{1, 2}, {3}}}, &out)
-	if want := b.UnionShare([][]interest.ID{{1, 2}, {3}}); out.Share != want {
+	if want := b.UnionShare(context.Background(), [][]interest.ID{{1, 2}, {3}}); out.Share != want {
 		t.Fatalf("UnionShare over RPC = %v, local %v", out.Share, want)
 	}
 	postJSON(t, ts.URL+shardPathConj, shardShareRequest{IDs: []interest.ID{1, 2}}, &out)
@@ -188,7 +211,7 @@ func TestShardServerEndpoints(t *testing.T) {
 	// The population override: shard-local by default, global on request.
 	ids := []interest.ID{1}
 	postJSON(t, ts.URL+shardPathCond, shardShareRequest{IDs: ids}, &out)
-	if want := b.ConditionalAudience(population.DemoFilter{}, ids); out.Share != want {
+	if want := b.ConditionalAudience(context.Background(), population.DemoFilter{}, ids); out.Share != want {
 		t.Fatalf("shard-local ConditionalAudience = %v, local %v", out.Share, want)
 	}
 	local := out.Share
@@ -258,8 +281,8 @@ func TestProxyRetriesTransientFailures(t *testing.T) {
 			return nil
 		},
 	})
-	want := b.UnionShare([][]interest.ID{{1}})
-	if got := proxy.UnionShare([][]interest.ID{{1}}); got != want {
+	want := b.UnionShare(context.Background(), [][]interest.ID{{1}})
+	if got := proxy.UnionShare(context.Background(), [][]interest.ID{{1}}); got != want {
 		t.Fatalf("share after retry = %v, want %v", got, want)
 	}
 	if len(slept) != 1 || slept[0] != time.Millisecond {

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestShardedReachMatchesSingleWorld(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, shards := range []int{1, 2, 3, 8} {
-			sharded, err := NewShardedBackend(cfg, shards)
+			sharded, err := NewShardedBackend(context.Background(), cfg, shards)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,13 +82,13 @@ func TestShardedReachMatchesSingleWorld(t *testing.T) {
 			r := rng.New(seed).Derive("property-queries")
 			for trial := 0; trial < 40; trial++ {
 				clauses := randomClauses(r, cfg.Population.CatalogSize)
-				want := local.UnionShare(clauses)
-				got := sharded.UnionShare(clauses)
+				want := local.UnionShare(context.Background(), clauses)
+				got := sharded.UnionShare(context.Background(), clauses)
 				checkShare(t, "UnionShare", seed, shards, trial, got, want)
 
 				f := randomFilter(r)
-				wantD := local.DemoShare(f)
-				gotD := sharded.DemoShare(f)
+				wantD := local.DemoShare(context.Background(), f)
+				gotD := sharded.DemoShare(context.Background(), f)
 				checkShare(t, "DemoShare", seed, shards, trial, gotD, wantD)
 
 				// The Appendix C group path: composite (filter, conjunction)
@@ -95,8 +96,8 @@ func TestShardedReachMatchesSingleWorld(t *testing.T) {
 				// byte-identical at one shard (same composition arithmetic
 				// over the same factor shares), reassociation-only above.
 				conj := clauses[0]
-				wantC := local.ConditionalAudience(f, conj)
-				gotC := sharded.ConditionalAudience(f, conj)
+				wantC := local.ConditionalAudience(context.Background(), f, conj)
+				gotC := sharded.ConditionalAudience(context.Background(), f, conj)
 				checkShare(t, "ConditionalAudience", seed, shards, trial, gotC, wantC)
 			}
 		}
@@ -128,7 +129,7 @@ func checkShare(t *testing.T, what string, seed uint64, shards, trial int, got, 
 func TestShardRangesTile(t *testing.T) {
 	cfg := smallConfig(1)
 	for _, shards := range []int{1, 2, 3, 8} {
-		b, err := NewShardedBackend(cfg, shards)
+		b, err := NewShardedBackend(context.Background(), cfg, shards)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,11 +156,11 @@ func TestShardRangesTile(t *testing.T) {
 
 func TestShardedBackendConstructionErrors(t *testing.T) {
 	cfg := smallConfig(1)
-	if _, err := NewShardedBackend(cfg, 0); err == nil {
+	if _, err := NewShardedBackend(context.Background(), cfg, 0); err == nil {
 		t.Fatal("0 shards should fail")
 	}
 	cfg.Population.Population = 4
-	if _, err := NewShardedBackend(cfg, 5); err == nil {
+	if _, err := NewShardedBackend(context.Background(), cfg, 5); err == nil {
 		t.Fatal("more shards than users should fail")
 	}
 }
@@ -195,16 +196,16 @@ func TestLocalBackendConstruction(t *testing.T) {
 // sum over shards, and WarmRows warms every shard.
 func TestShardedStatsAndWarmRows(t *testing.T) {
 	cfg := smallConfig(1)
-	b, err := NewShardedBackend(cfg, 3)
+	b, err := NewShardedBackend(context.Background(), cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.WarmRows()
+	b.WarmRows(context.Background())
 	// Single-interest clauses take the cached conjunction path.
 	clauses := [][]interest.ID{{1}, {3}}
-	b.UnionShare(clauses)
-	b.UnionShare(clauses)
-	st := b.AudienceStats()
+	b.UnionShare(context.Background(), clauses)
+	b.UnionShare(context.Background(), clauses)
+	st := b.AudienceStats(context.Background())
 	// Every shard served the same two queries: one miss then one hit each.
 	if st.Prefix.Misses+st.Set.Misses == 0 {
 		t.Fatalf("no misses recorded across shards: %+v", st)

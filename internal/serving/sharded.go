@@ -50,8 +50,10 @@ type ShardedBackend struct {
 // generated once and shared; each shard calibrates its own model over it
 // (bit-identical rates and grid regardless of range size, see
 // worldcfg.Config.BuildModel) and fronts it with its own audience engine.
-// Shard construction itself fans out over internal/parallel.
-func NewShardedBackend(cfg worldcfg.Config, n int) (*ShardedBackend, error) {
+// Shard construction itself fans out over internal/parallel under ctx, so
+// an aborted boot (SIGINT during a multi-minute bench-scale build) stops
+// calibrating shards instead of finishing work nobody wants.
+func NewShardedBackend(ctx context.Context, cfg worldcfg.Config, n int) (*ShardedBackend, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("serving: shard count %d must be >= 1", n)
 	}
@@ -63,7 +65,7 @@ func NewShardedBackend(cfg worldcfg.Config, n int) (*ShardedBackend, error) {
 	if err != nil {
 		return nil, err
 	}
-	shards, err := parallel.Map(context.Background(), n, cfg.Parallelism, func(i int) (*shard, error) {
+	shards, err := parallel.Map(ctx, n, cfg.Parallelism, func(i int) (*shard, error) {
 		r := ShardRange{Lo: pop * int64(i) / int64(n), Hi: pop * int64(i+1) / int64(n)}
 		model, err := cfg.BuildModel(cat, r.Size())
 		if err != nil {
@@ -100,18 +102,24 @@ func (b *ShardedBackend) Catalog() *interest.Catalog { return b.catalog }
 // Population implements ReachBackend.
 func (b *ShardedBackend) Population() int64 { return b.pop }
 
-// scatterGather fans eval out to every shard and folds the per-shard shares
-// into the global share in shard-index order. eval never fails, so the
-// parallel.Map error path is unreachable.
-func (b *ShardedBackend) scatterGather(eval func(s *shard) float64) float64 {
+// scatterGather fans eval out to every shard under the caller's context and
+// folds the per-shard shares into the global share in shard-index order.
+// eval never fails, so the only parallel.Map error is the context's: a
+// caller that gave up mid-fan-out gets *CanceledError (panic, recovered by
+// the HTTP tier) instead of a fabricated share. Shards are CPU-bound, so
+// cancellation stops UNCLAIMED shard evaluations; claimed ones finish.
+func (b *ShardedBackend) scatterGather(ctx context.Context, eval func(s *shard) float64) float64 {
 	if len(b.shards) == 1 {
 		// Single shard: skip the fan-out; weight is exactly 1.0 so the
 		// gather arithmetic below would return the bare share anyway.
 		return eval(b.shards[0])
 	}
-	shares, _ := parallel.Map(context.Background(), len(b.shards), b.workers, func(i int) (float64, error) {
+	shares, err := parallel.Map(ctx, len(b.shards), b.workers, func(i int) (float64, error) {
 		return eval(b.shards[i]), nil
 	})
+	if err != nil {
+		panic(&CanceledError{Err: err})
+	}
 	total := 0.0
 	for i, s := range b.shards {
 		total += s.weight * shares[i]
@@ -120,13 +128,13 @@ func (b *ShardedBackend) scatterGather(eval func(s *shard) float64) float64 {
 }
 
 // DemoShare implements ReachBackend.
-func (b *ShardedBackend) DemoShare(f population.DemoFilter) float64 {
-	return b.scatterGather(func(s *shard) float64 { return s.engine.DemoShare(f) })
+func (b *ShardedBackend) DemoShare(ctx context.Context, f population.DemoFilter) float64 {
+	return b.scatterGather(ctx, func(s *shard) float64 { return s.engine.DemoShare(f) })
 }
 
 // UnionShare implements ReachBackend.
-func (b *ShardedBackend) UnionShare(clauses [][]interest.ID) float64 {
-	return b.scatterGather(func(s *shard) float64 { return s.engine.UnionShare(clauses) })
+func (b *ShardedBackend) UnionShare(ctx context.Context, clauses [][]interest.ID) float64 {
+	return b.scatterGather(ctx, func(s *shard) float64 { return s.engine.UnionShare(clauses) })
 }
 
 // ConditionalAudience implements ReachBackend: both factor shares are
@@ -136,9 +144,9 @@ func (b *ShardedBackend) UnionShare(clauses [][]interest.ID) float64 {
 // ExpectedAudienceConditional applies, so one shard reproduces the local
 // path byte-identically and more shards deviate only by the gathers'
 // reassociation.
-func (b *ShardedBackend) ConditionalAudience(f population.DemoFilter, ids []interest.ID) float64 {
-	demo := b.scatterGather(func(s *shard) float64 { return s.engine.DemoShare(f) })
-	conj := b.scatterGather(func(s *shard) float64 { return s.engine.ConjunctionShare(ids) })
+func (b *ShardedBackend) ConditionalAudience(ctx context.Context, f population.DemoFilter, ids []interest.ID) float64 {
+	demo := b.scatterGather(ctx, func(s *shard) float64 { return s.engine.DemoShare(f) })
+	conj := b.scatterGather(ctx, func(s *shard) float64 { return s.engine.ConjunctionShare(ids) })
 	base := float64(b.pop)*demo - 1
 	if base < 0 {
 		base = 0
@@ -148,7 +156,7 @@ func (b *ShardedBackend) ConditionalAudience(f population.DemoFilter, ids []inte
 
 // AudienceStats implements ReachBackend: the fold of every shard's cache
 // counters.
-func (b *ShardedBackend) AudienceStats() audience.Stats {
+func (b *ShardedBackend) AudienceStats(context.Context) audience.Stats {
 	var st audience.Stats
 	for _, s := range b.shards {
 		st = addStats(st, s.engine.Stats())
@@ -157,9 +165,10 @@ func (b *ShardedBackend) AudienceStats() audience.Stats {
 }
 
 // WarmRows implements ReachBackend: every shard materializes its own full
-// inclusion-row table, in parallel.
-func (b *ShardedBackend) WarmRows() {
-	_ = parallel.ForEach(context.Background(), len(b.shards), b.workers, func(i int) error {
+// inclusion-row table, in parallel; a cancelled ctx stops warming unclaimed
+// shards (warming is an optimization, so partial completion is harmless).
+func (b *ShardedBackend) WarmRows(ctx context.Context) {
+	_ = parallel.ForEach(ctx, len(b.shards), b.workers, func(i int) error {
 		b.shards[i].model.WarmAllRows()
 		return nil
 	})

@@ -2,11 +2,16 @@
 # Multi-process serving smoke: boots a 2-shard fbadsd topology plus a
 # scatter-gather proxy, floods it with cmd/fbadsload, and gates failover.
 #
-#   1. healthy renormalize proxy answers the whole flood with 0 errors;
-#   2. with shard 1 killed, the renormalize proxy still answers everything
+#   1. healthy renormalize proxy answers the whole flood with 0 errors,
+#      0 sheds and 0 deadline expiries;
+#   2. chaos pass: a proxy whose shard-0 RPCs are injected 400ms of latency
+#      against a 100ms RPC timeout (every shard-0 RPC times out; the
+#      circuit breaker trips) still answers the whole flood with 0 errors,
+#      serving renormalized/degraded answers from the healthy shard;
+#   3. with shard 1 killed, the renormalize proxy still answers everything
 #      (0 errors) and stamps responses degraded (gated via the loadgen
 #      "degraded" tally);
-#   3. a fail-policy proxy over the same (half-dead) topology answers 503
+#   4. a fail-policy proxy over the same (half-dead) topology answers 503
 #      with a JSON body naming the dead shard's URL.
 #
 # Parameterized by environment so CI can scale it down:
@@ -27,12 +32,19 @@ SHARD0_PORT=19100
 SHARD1_PORT=19101
 PROXY_PORT=19080
 FAIL_PROXY_PORT=19081
+CHAOS_PROXY_PORT=19082
 
 WORLD="-catalog $CATALOG -population $POPULATION"
 PIDS=""
 cleanup() {
     for pid in $PIDS; do
         kill "$pid" 2>/dev/null || true
+    done
+    # A shard mid-model-build can shrug off SIGTERM's grace; escalate so an
+    # aborted smoke never strands bench-scale processes (and their ports).
+    sleep 1
+    for pid in $PIDS; do
+        kill -9 "$pid" 2>/dev/null || true
     done
     wait 2>/dev/null || true
 }
@@ -82,22 +94,53 @@ echo "==> flood 1: healthy 2-shard topology through the renormalize proxy"
     $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
     -concurrency "$CONCURRENCY" -note "proxy 2-process topology (healthy)" \
     -json "$OUT_JSON"
-grep -q '"errors": 0' "$OUT_JSON" || {
-    echo "FAIL: healthy proxy flood had request errors:" >&2
-    cat "$OUT_JSON" >&2
-    exit 1
-}
+for gate in '"errors": 0' '"shed": 0' '"deadline_exceeded": 0'; do
+    grep -q "$gate" "$OUT_JSON" || {
+        echo "FAIL: healthy proxy flood missing $gate:" >&2
+        cat "$OUT_JSON" >&2
+        exit 1
+    }
+done
 if grep -q '"degraded"' "$OUT_JSON"; then
     echo "FAIL: healthy proxy stamped responses degraded" >&2
     exit 1
 fi
+
+echo "==> flood 2 (chaos): shard 0 RPCs injected 400ms latency vs a 100ms RPC timeout"
+CHAOS_JSON="${OUT_JSON%.json}-chaos.json"
+/tmp/proxy-smoke-fbadsd $WORLD -proxy "$SHARD_URLS" -degrade renormalize \
+    -chaos-slow-shard 0=400ms -rpc-timeout 100ms \
+    -breaker-failures 2 -breaker-open-timeout 5s \
+    -health-interval 200ms -addr "127.0.0.1:$CHAOS_PROXY_PORT" &
+PIDS="$PIDS $!"
+wait_http "http://127.0.0.1:$CHAOS_PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC"
+/tmp/proxy-smoke-fbadsload -url "http://127.0.0.1:$CHAOS_PROXY_PORT" \
+    $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
+    -concurrency "$CONCURRENCY" -request-timeout 5s \
+    -note "proxy 2-process topology (shard 0 slow, breaker + renormalize)" \
+    -json "$CHAOS_JSON"
+# The breaker + renormalize path must absorb the slow shard completely:
+# every probe answered (no errors, nothing out-deadlined at 5s) from the
+# healthy shard, with the degraded stamp showing renormalization happened.
+for gate in '"errors": 0' '"deadline_exceeded": 0'; do
+    grep -q "$gate" "$CHAOS_JSON" || {
+        echo "FAIL: chaos flood missing $gate:" >&2
+        cat "$CHAOS_JSON" >&2
+        exit 1
+    }
+done
+grep -q '"degraded"' "$CHAOS_JSON" || {
+    echo "FAIL: chaos responses were never stamped degraded (breaker/renormalize path not exercised)" >&2
+    cat "$CHAOS_JSON" >&2
+    exit 1
+}
 
 echo "==> killing shard 1 ($SHARD1_PID)"
 kill "$SHARD1_PID"
 wait "$SHARD1_PID" 2>/dev/null || true
 sleep 1  # > health-interval: let the probes notice
 
-echo "==> flood 2: one shard down, renormalize proxy must answer everything"
+echo "==> flood 3: one shard down, renormalize proxy must answer everything"
 DEGRADED_JSON="${OUT_JSON%.json}-degraded.json"
 /tmp/proxy-smoke-fbadsload -url "http://127.0.0.1:$PROXY_PORT" \
     $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
