@@ -36,12 +36,28 @@
 // live shards with responses stamped "degraded": true. Every fbadsd in one
 // topology must run the same world flags (-seed/-catalog/-population/...).
 //
-// The proxy also runs a circuit breaker per shard (trip after
+// Shards may be replicated: "|" separates replicas of one shard inside the
+// comma-separated shard list,
+//
+//	fbadsd -shard-of 0/2 -shard-listen :9100 &   # shard 0, replica a
+//	fbadsd -shard-of 0/2 -shard-listen :9102 &   # shard 0, replica b
+//	fbadsd -shard-of 1/2 -shard-listen :9101 &   # shard 1
+//	fbadsd -proxy 'http://localhost:9100|http://localhost:9102,http://localhost:9101'
+//
+// Replicas of a shard are byte-identical worlds by construction (same world
+// flags, same shard index), so replica failover is EXACT: killing one
+// replica never changes or degrades an answer — -degrade only engages when
+// every replica of a shard is down. -hedge-after dur arms hedged requests:
+// if a shard RPC has not answered after dur, the proxy fires the same
+// request at the next live replica and the first success wins (the loser's
+// context is canceled; tallies at GET /v9.0/serving/health).
+//
+// The proxy also runs a circuit breaker per replica (trip after
 // -breaker-failures consecutive data-RPC failures, fast-fail for
 // -breaker-open-timeout, then a half-open trial), propagates every caller's
 // deadline into the shard RPCs (X-Deadline-Ms), and -chaos-slow-shard i=dur
-// injects dur of latency into shard i's RPCs (loadgen.FlakyTransport) for
-// chaos drills — see scripts/proxy_smoke.sh.
+// injects dur of latency into every replica of shard i's RPCs
+// (loadgen.FlakyTransport) for chaos drills — see scripts/proxy_smoke.sh.
 package main
 
 import (
@@ -81,12 +97,13 @@ func main() {
 
 		shardOf        = flag.String("shard-of", "", "serve one shard's RPC instead of the Marketing API: \"i/n\" builds shard i of an n-shard topology (listen address: -shard-listen)")
 		shardListen    = flag.String("shard-listen", ":9100", "listen address of the shard RPC server (only with -shard-of)")
-		proxyURLs      = flag.String("proxy", "", "comma-separated shard base URLs, in shard order: serve the Marketing API by scatter-gathering these shard processes (mutually exclusive with -shards > 1 and -shard-of)")
+		proxyURLs      = flag.String("proxy", "", "comma-separated shard base URLs, in shard order, each optionally a |-separated replica set (\"u0a|u0b,u1\"): serve the Marketing API by scatter-gathering these shard processes (mutually exclusive with -shards > 1 and -shard-of)")
 		degrade        = flag.String("degrade", "fail", "proxy degradation policy when shards are down: fail (503 naming the dead shards) or renormalize (serve from live shards, responses stamped degraded)")
 		healthInterval = flag.Duration("health-interval", time.Second, "proxy health-probe period")
 		rpcTimeout     = flag.Duration("rpc-timeout", 10*time.Second, "per-shard-RPC timeout of the proxy")
 		breakFailures  = flag.Int("breaker-failures", 5, "consecutive shard-RPC failures that trip the proxy's per-shard circuit breaker open")
 		breakTimeout   = flag.Duration("breaker-open-timeout", 5*time.Second, "how long an open circuit breaker fast-fails before a half-open trial RPC")
+		hedgeAfter     = flag.Duration("hedge-after", 0, "hedge a shard RPC to the next live replica when the first has not answered after this long (0 = no hedging; needs replicated shards)")
 		chaosSlowShard = flag.String("chaos-slow-shard", "", "inject latency into one shard's RPCs, as i=duration (e.g. 1=300ms); chaos testing only")
 	)
 	flag.Parse()
@@ -126,17 +143,21 @@ func main() {
 		if perr != nil {
 			log.Fatal(perr)
 		}
-		urls := strings.Split(*proxyURLs, ",")
-		client, cerr := chaosClient(*chaosSlowShard, urls)
+		topo, terr := serving.ParseShardTopology(*proxyURLs)
+		if terr != nil {
+			log.Fatal(terr)
+		}
+		client, cerr := chaosClient(*chaosSlowShard, topo)
 		if cerr != nil {
 			log.Fatal(cerr)
 		}
 		var proxy *serving.ProxyBackend
 		proxy, err = serving.NewProxyBackend(*cfg, serving.ProxyConfig{
-			URLs:          urls,
+			Shards:        topo,
 			Timeout:       *rpcTimeout,
 			Policy:        policy,
 			ProbeInterval: *healthInterval,
+			HedgeAfter:    *hedgeAfter,
 			Breaker: serving.BreakerConfig{
 				FailureThreshold: *breakFailures,
 				OpenTimeout:      *breakTimeout,
@@ -149,13 +170,20 @@ func main() {
 			if st.Down > 0 {
 				for _, sh := range st.Shards {
 					if !sh.Up {
-						log.Printf("shard %d (%s) down at startup: %s", sh.Shard, sh.URL, sh.LastError)
+						log.Printf("shard %d replica %d (%s) down at startup: %s", sh.Shard, sh.Replica, sh.URL, sh.LastError)
 					}
 				}
 			}
 			proxy.StartHealth(context.Background())
 			backend = proxy
-			topology = fmt.Sprintf("proxy over %d shard process(es), policy %s", len(urls), policy)
+			replicas := 0
+			for _, rs := range topo {
+				replicas += len(rs)
+			}
+			topology = fmt.Sprintf("proxy over %d shard process(es) (%d replica(s)), policy %s", len(topo), replicas, policy)
+			if *hedgeAfter > 0 {
+				topology += fmt.Sprintf(", hedge after %v", *hedgeAfter)
+			}
 		}
 	case *shards > 1:
 		backend, err = serving.NewShardedBackend(context.Background(), *cfg, *shards)
@@ -205,10 +233,11 @@ func main() {
 
 // chaosClient builds the proxy's HTTP client, wrapping the transport in a
 // loadgen.FlakyTransport latency injector when -chaos-slow-shard is set:
-// every RPC aimed at the named shard sleeps the configured duration (or
-// until the propagated deadline expires — the injected sleep honors the
-// request context). An empty spec returns a plain client.
-func chaosClient(spec string, urls []string) (*http.Client, error) {
+// every RPC aimed at the named shard — any of its replicas — sleeps the
+// configured duration (or until the propagated deadline expires — the
+// injected sleep honors the request context). An empty spec returns a plain
+// client.
+func chaosClient(spec string, topo [][]string) (*http.Client, error) {
 	if spec == "" {
 		return &http.Client{}, nil
 	}
@@ -225,15 +254,23 @@ func chaosClient(spec string, urls []string) (*http.Client, error) {
 	if dur, err = time.ParseDuration(spec[eq+1:]); err != nil {
 		return nil, fmt.Errorf("-chaos-slow-shard %q: bad duration: %v", spec, err)
 	}
-	if index < 0 || index >= len(urls) {
-		return nil, fmt.Errorf("-chaos-slow-shard %q: shard index outside [0, %d)", spec, len(urls))
+	if index < 0 || index >= len(topo) {
+		return nil, fmt.Errorf("-chaos-slow-shard %q: shard index outside [0, %d)", spec, len(topo))
 	}
-	target := strings.TrimSuffix(urls[index], "/")
-	log.Printf("CHAOS: delaying shard %d (%s) RPCs by %v", index, target, dur)
+	targets := make([]string, len(topo[index]))
+	for i, u := range topo[index] {
+		targets[i] = strings.TrimSuffix(u, "/")
+	}
+	log.Printf("CHAOS: delaying shard %d (%s) RPCs by %v", index, strings.Join(targets, "|"), dur)
 	return &http.Client{Transport: &loadgen.FlakyTransport{
 		Delay: dur,
 		DelayPred: func(r *http.Request) bool {
-			return strings.HasPrefix(r.URL.String(), target+"/")
+			for _, target := range targets {
+				if strings.HasPrefix(r.URL.String(), target+"/") {
+					return true
+				}
+			}
+			return false
 		},
 	}}, nil
 }

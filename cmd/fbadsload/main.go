@@ -102,6 +102,10 @@ func main() {
 	type runResult struct {
 		Shards int `json:"shards"`
 		loadgen.Result
+		// Health is the proxy's replica-level view after the run (hedge and
+		// failover tallies included); absent when the target backend is not
+		// a shard proxy.
+		Health *serving.HealthStats `json:"serving_health,omitempty"`
 	}
 	var results []runResult
 	for _, n := range sweep {
@@ -112,8 +116,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			results = append(results, runResult{Shards: n, Result: res})
+			health := fetchHealth(*targetURL, *token)
+			results = append(results, runResult{Shards: n, Result: res, Health: health})
 			printRun(n, res, *targetURL)
+			printHealth(health)
 			continue
 		}
 
@@ -162,12 +168,14 @@ func main() {
 
 		w.BaseURL = "http://" + ln.Addr().String()
 		res, err := loadgen.Run(context.Background(), w)
+		health := fetchHealth(w.BaseURL, *token)
 		hs.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		results = append(results, runResult{Shards: n, Result: res})
+		results = append(results, runResult{Shards: n, Result: res, Health: health})
 		printRun(n, res, w.BaseURL)
+		printHealth(health)
 	}
 
 	ratio := 0.0
@@ -223,6 +231,28 @@ func printRun(shards int, res loadgen.Result, target string) {
 		res.Requests, res.Duration.Round(time.Millisecond), res.OK, degraded, res.Rejected, res.Shed, res.RateLimited, res.DeadlineExceeded, res.Errors)
 	fmt.Printf("  throughput %.1f req/s, latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
 		res.Throughput, res.P50Ms, res.P95Ms, res.P99Ms)
+}
+
+// fetchHealth grabs the proxy's replica health and hedge/failover tallies
+// after a run. Best-effort: non-proxy backends (404) and scrape errors both
+// come back nil — the load numbers stand on their own either way.
+func fetchHealth(baseURL, token string) *serving.HealthStats {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := loadgen.FetchServingHealth(ctx, nil, baseURL, token)
+	if err != nil {
+		log.Printf("serving health scrape failed: %v", err)
+		return nil
+	}
+	return st
+}
+
+func printHealth(st *serving.HealthStats) {
+	if st == nil {
+		return
+	}
+	fmt.Printf("  proxy health: %d replicas up, %d down; hedged %d (wins %d), failovers %d, retry budget exhausted %d\n",
+		st.Up, st.Down, st.Hedged, st.HedgeWins, st.Failovers, st.RetryBudgetExhausted)
 }
 
 func parseEra(name string) (adsapi.Era, error) {

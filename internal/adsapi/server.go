@@ -152,6 +152,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc(prefix+"/{account}/reachestimate", s.withAuth(s.requireAccount(s.handleReachEstimate)))
 	mux.HandleFunc(prefix+"/{account}/campaigns", s.withAuth(s.requireAccount(s.handleCampaigns)))
 	mux.HandleFunc(prefix+"/search", s.withAuth(s.handleSearch))
+	mux.HandleFunc(prefix+"/serving/health", s.withAuth(s.handleServingHealth))
 	mux.HandleFunc(prefix+"/{id}/insights", s.withAuth(s.handleInsights))
 	s.mux = mux
 	return s, nil
@@ -227,6 +228,29 @@ func (s *Server) AudienceStats() audience.Stats {
 
 // Backend exposes the reach backend the server estimates through.
 func (s *Server) Backend() serving.ReachBackend { return s.backend }
+
+// handleServingHealth serves GET /v9.0/serving/health: the serving tier's
+// per-replica health rows plus the hedging/failover tallies
+// (serving.HealthStats). Only topology-aware backends (the proxy) carry
+// health state; in-process backends answer 404 — there is nothing to probe.
+// Load generators scrape this after a flood to report how many answers rode
+// a hedge or a failover (fbadsload).
+func (s *Server) handleServingHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, &APIError{
+			Code: CodeInvalidParam, Type: "GraphMethodException",
+			Message: "Unsupported method"})
+		return
+	}
+	hb, ok := s.backend.(interface{ HealthStats() serving.HealthStats })
+	if !ok {
+		s.writeError(w, http.StatusNotFound, &APIError{
+			Code: CodeInvalidParam, Type: "GraphMethodException",
+			Message: "Backend has no serving health (not a shard proxy)"})
+		return
+	}
+	s.writeJSON(w, hb.HealthStats())
+}
 
 // DisableAccount makes every subsequent authorized call fail with FB error
 // 368 — reproducing the account closure the authors experienced days after

@@ -33,6 +33,7 @@ import (
 	"nanotarget/internal/interest"
 	"nanotarget/internal/parallel"
 	"nanotarget/internal/rng"
+	"nanotarget/internal/serving"
 	"nanotarget/internal/stats"
 )
 
@@ -231,6 +232,43 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.P95Ms, _ = stats.Quantile(answered, 0.95)
 	res.P99Ms, _ = stats.Quantile(answered, 0.99)
 	return res, nil
+}
+
+// FetchServingHealth scrapes GET /<version>/serving/health from a running
+// fbadsd and returns the proxy's replica-level health and hedging tallies
+// (Hedged, HedgeWins, Failovers, RetryBudgetExhausted). Servers whose
+// backend is not a shard proxy answer 404; that is reported as (nil, nil)
+// so callers can skip the tallies rather than fail the run.
+func FetchServingHealth(ctx context.Context, client *http.Client, baseURL, accessToken string) (*serving.HealthStats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	u := strings.TrimSuffix(baseURL, "/") + "/" + adsapi.APIVersion + "/serving/health"
+	if accessToken != "" {
+		u += "?access_token=" + url.QueryEscape(accessToken)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("loadgen: serving health: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var st serving.HealthStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("loadgen: serving health: %w", err)
+	}
+	return &st, nil
 }
 
 // isDegraded reports whether a 200 body carries the proxy's renormalize

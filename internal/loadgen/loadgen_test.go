@@ -229,3 +229,76 @@ func TestRunCountsDegradedResponses(t *testing.T) {
 		t.Fatalf("degraded tally wrong: %+v", res)
 	}
 }
+
+// TestFetchServingHealth covers the health-scrape helper against both kinds
+// of backend: a shard proxy (real stats, replica rows, 405 on non-GET) and a
+// single-process LocalBackend (the endpoint 404s and the helper reports
+// "no serving health" as nil, nil).
+func TestFetchServingHealth(t *testing.T) {
+	cfg := testWorld(t)
+
+	// LocalBackend: no proxy, no stats.
+	local := testServer(t, cfg, serving.AdmissionConfig{})
+	st, err := FetchServingHealth(context.Background(), nil, local.URL, "")
+	if err != nil {
+		t.Fatalf("FetchServingHealth against LocalBackend: %v", err)
+	}
+	if st != nil {
+		t.Fatalf("LocalBackend reported serving health: %+v", st)
+	}
+
+	// Proxy over a replicated shard 0: stats carry one row per replica.
+	shardOf := []int{0, 0, 1} // urls[0] and urls[1] replicate shard 0; urls[2] is shard 1
+	urls := make([]string, len(shardOf))
+	for i, shard := range shardOf {
+		b, info, err := serving.NewShardBackend(cfg, shard, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serving.NewShardServer(b, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	proxy, err := serving.NewProxyBackend(cfg, serving.ProxyConfig{
+		Shards: [][]string{{urls[0], urls[1]}, {urls[2]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := adsapi.NewServer(adsapi.ServerConfig{Backend: proxy, Era: adsapi.Era2017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	st, err = FetchServingHealth(context.Background(), nil, ts.URL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("proxy backend reported no serving health")
+	}
+	if st.Up != 3 || st.Down != 0 || len(st.Shards) != 3 {
+		t.Fatalf("unexpected health: %+v", st)
+	}
+	if st.Shards[0].Shard != 0 || st.Shards[0].Replica != 0 ||
+		st.Shards[1].Shard != 0 || st.Shards[1].Replica != 1 ||
+		st.Shards[2].Shard != 1 || st.Shards[2].Replica != 0 {
+		t.Fatalf("replica rows out of order: %+v", st.Shards)
+	}
+
+	// Non-GET is rejected by the endpoint, and the helper reports it.
+	resp, err := http.Post(ts.URL+"/"+adsapi.APIVersion+"/serving/health", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /serving/health: HTTP %d, want 405", resp.StatusCode)
+	}
+}

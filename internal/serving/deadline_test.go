@@ -330,8 +330,8 @@ func BenchmarkProxyBreakerFastFail(b *testing.B) {
 	}
 	// Trip shard 1's breaker the way production would: one data-path failure
 	// at threshold 1.
-	proxy.breakers[1].OnFailure()
-	if st := proxy.breakers[1].State(); st != BreakerOpen {
+	proxy.breakers[1][0].OnFailure()
+	if st := proxy.breakers[1][0].State(); st != BreakerOpen {
 		b.Fatalf("breaker not open: %v", st)
 	}
 

@@ -27,6 +27,11 @@ const (
 	PolicyRenormalize
 )
 
+// Both policies concern SHARDS, not replicas: a shard counts as down only
+// when every one of its replicas is down. Losing a replica of a multi-replica
+// shard degrades nothing — the surviving replicas serve the byte-identical
+// world, so failover between them is exact.
+
 // ParsePolicy maps the CLI spellings to a Policy.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
@@ -47,12 +52,13 @@ func (p Policy) String() string {
 }
 
 // UnavailableError reports that the proxy cannot serve: under PolicyFail any
-// down shard triggers it; under PolicyRenormalize only losing every shard
-// does. ReachBackend's share methods have no error returns (local backends
-// cannot fail), so ProxyBackend panics with this type and HTTP tiers recover
-// it into a 503 response naming the down shards (adsapi.Server.ServeHTTP).
+// dead shard (every replica down) triggers it; under PolicyRenormalize only
+// losing every shard does. ReachBackend's share methods have no error returns
+// (local backends cannot fail), so ProxyBackend panics with this type and
+// HTTP tiers recover it into a 503 response naming the down shards
+// (adsapi.Server.ServeHTTP).
 type UnavailableError struct {
-	// Down lists the unreachable shards' base URLs.
+	// Down lists the unreachable replicas' base URLs.
 	Down []string
 }
 
@@ -81,42 +87,59 @@ func (e *CanceledError) Error() string {
 // Unwrap exposes the context error to errors.Is.
 func (e *CanceledError) Unwrap() error { return e.Err }
 
-// ShardHealth is one shard's probe state.
+// ShardHealth is one replica's probe state. Single-replica topologies get one
+// row per shard (Replica 0), so existing consumers indexing Shards by shard
+// keep working; replicated topologies get one row per (shard, replica) in
+// shard-major order.
 type ShardHealth struct {
 	Shard      int       `json:"shard"`
+	Replica    int       `json:"replica"`
 	URL        string    `json:"url"`
 	Up         bool      `json:"up"`
 	LastError  string    `json:"last_error,omitempty"`
 	LastProbe  time.Time `json:"last_probe"`
 	LastChange time.Time `json:"last_change"`
-	// Breaker is the shard's circuit-breaker position ("closed", "open",
+	// Breaker is the replica's circuit-breaker position ("closed", "open",
 	// "half-open") — data-path verdicts, orthogonal to probe-owned Up.
 	Breaker string `json:"breaker,omitempty"`
 }
 
-// HealthStats snapshots the proxy's view of the topology.
+// HealthStats snapshots the proxy's view of the topology. Up/Down count
+// REPLICAS (so they keep their historical meaning on single-replica
+// topologies); the hedging tallies count RPC-level events since the proxy
+// started.
 type HealthStats struct {
-	Up     int           `json:"up"`
-	Down   int           `json:"down"`
-	Rounds int64         `json:"rounds"` // completed probe rounds
-	Shards []ShardHealth `json:"shards"`
+	Up     int   `json:"up"`
+	Down   int   `json:"down"`
+	Rounds int64 `json:"rounds"` // completed probe rounds
+	// Hedged counts secondary replica attempts launched while hedging is
+	// armed — by the hedge timer expiring or by the running attempt failing.
+	Hedged int64 `json:"hedged,omitempty"`
+	// HedgeWins counts hedged attempts that answered first.
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
+	// Failovers counts sequential replica failovers (hedging disarmed).
+	Failovers int64 `json:"failovers,omitempty"`
+	// RetryBudgetExhausted counts RPCs abandoned because their query's
+	// shared retry budget ran dry (each counts as that shard's failure).
+	RetryBudgetExhausted int64         `json:"retry_budget_exhausted,omitempty"`
+	Shards               []ShardHealth `json:"shards"`
 }
 
-// healthMonitor tracks per-shard up/down state for a ProxyBackend. Shards
-// start up (optimistic): a dead shard is discovered by the first probe round
-// or the first scatter that fails against it, whichever comes first. A down
-// shard rejoins ONLY through a successful health probe — the data path never
-// resurrects a shard, so failover behaviour is a function of probe cadence,
+// healthMonitor tracks per-replica up/down state for a ProxyBackend. Replicas
+// start up (optimistic): a dead replica is discovered by the first probe
+// round or the first RPC that fails against it, whichever comes first. A down
+// replica rejoins ONLY through a successful health probe — the data path
+// never resurrects one, so failover behaviour is a function of probe cadence,
 // not query traffic.
 type healthMonitor struct {
 	now func() time.Time
 
 	mu     sync.Mutex
-	shards []shardHealthState
+	shards [][]replicaHealthState
 	rounds int64
 }
 
-type shardHealthState struct {
+type replicaHealthState struct {
 	url        string
 	up         bool
 	lastErr    string
@@ -124,46 +147,80 @@ type shardHealthState struct {
 	lastChange time.Time
 }
 
-func newHealthMonitor(urls []string, now func() time.Time) *healthMonitor {
-	h := &healthMonitor{now: now, shards: make([]shardHealthState, len(urls))}
+func newHealthMonitor(shards [][]string, now func() time.Time) *healthMonitor {
+	h := &healthMonitor{now: now, shards: make([][]replicaHealthState, len(shards))}
 	t := now()
-	for i, u := range urls {
-		h.shards[i] = shardHealthState{url: u, up: true, lastChange: t}
+	for i, reps := range shards {
+		h.shards[i] = make([]replicaHealthState, len(reps))
+		for r, u := range reps {
+			h.shards[i][r] = replicaHealthState{url: u, up: true, lastChange: t}
+		}
 	}
 	return h
 }
 
-// downShards returns the down flags (indexed by shard) and the down shards'
-// URLs, as one consistent snapshot.
-func (h *healthMonitor) downShards() (down []bool, urls []string) {
+// liveReplicas returns the indices of a shard's up replicas, in replica
+// order — the failover/hedging candidate list (lowest live index preferred).
+func (h *healthMonitor) liveReplicas(shard int) []int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	down = make([]bool, len(h.shards))
-	for i, s := range h.shards {
-		if !s.up {
-			down[i] = true
-			urls = append(urls, s.url)
+	var live []int
+	for r, s := range h.shards[shard] {
+		if s.up {
+			live = append(live, r)
 		}
 	}
-	return down, urls
+	return live
 }
 
-func (h *healthMonitor) anyDown() bool {
+// deadShards returns, as one consistent snapshot, the dead flags (a shard is
+// dead only when EVERY replica is down) and the down replicas' URLs of those
+// dead shards.
+func (h *healthMonitor) deadShards() (dead []bool, urls []string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for _, s := range h.shards {
-		if !s.up {
+	dead = make([]bool, len(h.shards))
+	for i, reps := range h.shards {
+		allDown := true
+		for _, s := range reps {
+			if s.up {
+				allDown = false
+				break
+			}
+		}
+		if allDown {
+			dead[i] = true
+			for _, s := range reps {
+				urls = append(urls, s.url)
+			}
+		}
+	}
+	return dead, urls
+}
+
+func (h *healthMonitor) anyShardDead() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, reps := range h.shards {
+		allDown := true
+		for _, s := range reps {
+			if s.up {
+				allDown = false
+				break
+			}
+		}
+		if allDown {
 			return true
 		}
 	}
 	return false
 }
 
-// markDown records a shard failure (probe or data path).
-func (h *healthMonitor) markDown(i int, err error) {
+// markDown records a replica failure (probe or data path).
+func (h *healthMonitor) markDown(shard, replica int, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := &h.shards[i]
+	s := &h.shards[shard][replica]
 	now := h.now()
 	s.lastProbe = now
 	s.lastErr = err.Error()
@@ -174,10 +231,10 @@ func (h *healthMonitor) markDown(i int, err error) {
 }
 
 // markUp records a successful probe.
-func (h *healthMonitor) markUp(i int) {
+func (h *healthMonitor) markUp(shard, replica int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := &h.shards[i]
+	s := &h.shards[shard][replica]
 	now := h.now()
 	s.lastProbe = now
 	s.lastErr = ""
@@ -190,63 +247,79 @@ func (h *healthMonitor) markUp(i int) {
 func (h *healthMonitor) snapshot() HealthStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	st := HealthStats{Rounds: h.rounds, Shards: make([]ShardHealth, len(h.shards))}
-	for i, s := range h.shards {
-		st.Shards[i] = ShardHealth{
-			Shard: i, URL: s.url, Up: s.up, LastError: s.lastErr,
-			LastProbe: s.lastProbe, LastChange: s.lastChange,
-		}
-		if s.up {
-			st.Up++
-		} else {
-			st.Down++
+	st := HealthStats{Rounds: h.rounds}
+	for i, reps := range h.shards {
+		for r, s := range reps {
+			st.Shards = append(st.Shards, ShardHealth{
+				Shard: i, Replica: r, URL: s.url, Up: s.up, LastError: s.lastErr,
+				LastProbe: s.lastProbe, LastChange: s.lastChange,
+			})
+			if s.up {
+				st.Up++
+			} else {
+				st.Down++
+			}
 		}
 	}
 	return st
 }
 
-// HealthStats snapshots per-shard up/down state, last errors, probe
-// bookkeeping (timestamps come from the injectable clock), and each shard's
-// circuit-breaker position.
+// HealthStats snapshots per-replica up/down state, last errors, probe
+// bookkeeping (timestamps come from the injectable clock), each replica's
+// circuit-breaker position, and the hedging/failover tallies.
 func (p *ProxyBackend) HealthStats() HealthStats {
 	st := p.health.snapshot()
 	for i := range st.Shards {
-		st.Shards[i].Breaker = p.breakers[i].State().String()
+		row := &st.Shards[i]
+		row.Breaker = p.breakers[row.Shard][row.Replica].State().String()
 	}
+	st.Hedged = p.hedged.Load()
+	st.HedgeWins = p.hedgeWins.Load()
+	st.Failovers = p.failovers.Load()
+	st.RetryBudgetExhausted = p.budgetExhausted.Load()
 	return st
 }
 
 // Degraded reports whether the proxy is currently serving renormalized
-// answers: PolicyRenormalize with at least one shard down. The adsapi server
-// stamps reach responses "degraded": true while this holds.
+// answers: PolicyRenormalize with at least one shard fully dead (every
+// replica down). A down replica of a shard with survivors does NOT degrade —
+// the survivors serve the byte-identical world. The adsapi server stamps
+// reach responses "degraded": true while this holds.
 func (p *ProxyBackend) Degraded() bool {
-	return p.policy == PolicyRenormalize && p.health.anyDown()
+	return p.policy == PolicyRenormalize && p.health.anyShardDead()
 }
 
-// ProbeNow runs one synchronous health-probe round: every shard's
-// /shard/v1/health endpoint is fetched (in parallel, under the probe
-// timeout) and its identity — shard index, shard count, catalog size, total
-// population — is checked against the proxy's own configuration, so a shard
-// serving the wrong world is treated as down rather than silently folded in.
-// Tests drive failover deterministically by calling ProbeNow directly;
-// production uses StartHealth, which hands its loop context down.
+// ProbeNow runs one synchronous health-probe round: every replica's
+// /shard/v1/health endpoint is fetched (in parallel, under the probe timeout)
+// and its identity — shard index, shard count, user-ID range, catalog size,
+// total population — is checked against the proxy's own configuration, so a
+// replica serving the wrong world (or the wrong slice of the right world) is
+// treated as down rather than silently folded in. Every check compares
+// against the proxy's config-derived expectation, so any two replicas that
+// both pass are byte-identical worlds by construction (shard models are
+// share-calibrated pure functions of the config and range) — which is what
+// makes replica failover exact. Tests drive failover deterministically by
+// calling ProbeNow directly; production uses StartHealth, which hands its
+// loop context down.
 //
 // Probe results deliberately do NOT feed the circuit breakers: the case the
-// breaker exists for is a flapping shard whose health endpoint answers (so
-// probes keep resurrecting it) while its data RPCs time out — only
-// data-path successes may close a breaker.
+// breaker exists for is a flapping replica whose health endpoint answers (so
+// probes keep resurrecting it) while its data RPCs time out — only data-path
+// successes may close a breaker.
 func (p *ProxyBackend) ProbeNow(ctx context.Context) {
 	var wg sync.WaitGroup
-	for i := range p.urls {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := p.probeShard(ctx, i); err != nil {
-				p.health.markDown(i, err)
-			} else {
-				p.health.markUp(i)
-			}
-		}(i)
+	for i := range p.shards {
+		for r := range p.shards[i] {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				if err := p.probeReplica(ctx, i, r); err != nil {
+					p.health.markDown(i, r, err)
+				} else {
+					p.health.markUp(i, r)
+				}
+			}(i, r)
+		}
 	}
 	wg.Wait()
 	p.health.mu.Lock()
@@ -254,12 +327,12 @@ func (p *ProxyBackend) ProbeNow(ctx context.Context) {
 	p.health.mu.Unlock()
 }
 
-// probeShard fetches and verifies one shard's health endpoint under
+// probeReplica fetches and verifies one replica's health endpoint under
 // min(caller deadline, probe timeout).
-func (p *ProxyBackend) probeShard(ctx context.Context, i int) error {
+func (p *ProxyBackend) probeReplica(ctx context.Context, shard, replica int) error {
 	ctx, cancel := context.WithTimeout(ctx, p.probeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.urls[i]+shardPathHealth, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.shards[shard][replica]+shardPathHealth, nil)
 	if err != nil {
 		return err
 	}
@@ -282,9 +355,12 @@ func (p *ProxyBackend) probeShard(ctx context.Context, i int) error {
 	switch {
 	case info.Status != "ok":
 		return fmt.Errorf("health probe: status %q", info.Status)
-	case info.Shard != i || info.Shards != len(p.urls):
+	case info.Shard != shard || info.Shards != len(p.shards):
 		return fmt.Errorf("health probe: identity mismatch: shard %d/%d, proxy expects %d/%d",
-			info.Shard, info.Shards, i, len(p.urls))
+			info.Shard, info.Shards, shard, len(p.shards))
+	case info.Lo != p.ranges[shard].Lo || info.Hi != p.ranges[shard].Hi:
+		return fmt.Errorf("health probe: range [%d, %d), proxy expects shard %d to own [%d, %d)",
+			info.Lo, info.Hi, shard, p.ranges[shard].Lo, p.ranges[shard].Hi)
 	case info.CatalogSize != p.catalog.Len():
 		return fmt.Errorf("health probe: catalog size %d, proxy world has %d", info.CatalogSize, p.catalog.Len())
 	case info.TotalPopulation != p.pop:

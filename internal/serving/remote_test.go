@@ -44,9 +44,39 @@ func startWrappedShardTopology(t *testing.T, cfg worldcfg.Config, count int, wra
 	return urls
 }
 
+// startReplicatedShardTopology boots count shards, each served by `replicas`
+// independently built replica servers — the per-process analogue of booting
+// several `fbadsd -shard-of i/n` processes from the same config, so the
+// replicas are byte-identical worlds by construction, not by sharing a
+// backend. Each replica gets its own middleware stack. Returns the replica
+// URL sets in shard order (ProxyConfig.Shards shape).
+func startReplicatedShardTopology(t *testing.T, cfg worldcfg.Config, count, replicas int, wrap func(http.Handler) http.Handler) [][]string {
+	t.Helper()
+	topo := make([][]string, count)
+	for i := 0; i < count; i++ {
+		topo[i] = make([]string, replicas)
+		for rep := 0; rep < replicas; rep++ {
+			b, info, err := NewShardBackend(cfg, i, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := NewShardServer(b, info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(wrap(srv))
+			t.Cleanup(ts.Close)
+			topo[i][rep] = ts.URL
+		}
+	}
+	return topo
+}
+
 func newTestProxy(t *testing.T, cfg worldcfg.Config, urls []string, pc ProxyConfig) *ProxyBackend {
 	t.Helper()
-	pc.URLs = urls
+	if len(pc.Shards) == 0 {
+		pc.URLs = urls
+	}
 	if pc.RetryBase == 0 {
 		pc.RetryBase = time.Millisecond
 	}
@@ -60,58 +90,85 @@ func newTestProxy(t *testing.T, cfg worldcfg.Config, urls []string, pc ProxyConf
 // TestProxyMatchesShardedBackend is the tentpole's acceptance property: for
 // random conjunctions/unions, demo filters and conditional audiences, the
 // network proxy's answers over httptest shard processes are BYTE-IDENTICAL
-// to the in-process ShardedBackend at the same shard split — across shards
-// {1,2,3} × seeds {0,1,42}. This is the whole exactness argument for the
-// topology: per-shard shares survive the JSON hop exactly, and the proxy
-// folds them with ShardedBackend's arithmetic.
+// to the in-process ShardedBackend at the same shard split — across
+// replicas {1,2} × shards {1,2,3} × seeds {0,1,42}. This is the whole
+// exactness argument for the topology: per-shard shares survive the JSON
+// hop exactly, and the proxy folds them with ShardedBackend's arithmetic —
+// independent of WHICH replica of a shard answers, because the replicas are
+// byte-identical worlds.
 //
 // The full robustness stack is deliberately LIVE while the property runs —
-// per-shard circuit breakers at their twitchiest (threshold 1) on the proxy,
-// and every shard behind the production Gate + cost-charging Admission
-// middleware — proving the protection layers are bit-transparent on the
-// healthy path.
+// per-replica circuit breakers at their twitchiest (threshold 1) on the
+// proxy, every replica behind its own Gate + cost-charging Admission
+// middleware, and (at replicas=2) hedging ARMED with an instant hedge delay
+// so nearly every RPC races both replicas — proving the protection and
+// tail-tolerance layers are bit-transparent on the healthy path, and that
+// losing a hedge race never trips a breaker.
 func TestProxyMatchesShardedBackend(t *testing.T) {
 	for _, seed := range []uint64{0, 1, 42} {
 		cfg := smallConfig(seed)
 		for _, shards := range []int{1, 2, 3} {
-			sharded, err := NewShardedBackend(context.Background(), cfg, shards)
-			if err != nil {
-				t.Fatal(err)
-			}
-			urls := startWrappedShardTopology(t, cfg, shards, func(h http.Handler) http.Handler {
-				// Generous limits: the stack must engage (keys resolve,
-				// tokens charge, slots count) without ever rejecting.
-				return NewGate(GateConfig{MaxInFlight: 32},
-					NewAdmission(AdmissionConfig{
-						Rate: 1e6, Burst: 1e6,
-						Cost: func(*http.Request) float64 { return 2 },
-					}, h))
-			})
-			proxy := newTestProxy(t, cfg, urls, ProxyConfig{
-				Breaker: BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour},
-			})
-			if proxy.Population() != sharded.Population() {
-				t.Fatalf("population mismatch: %d vs %d", proxy.Population(), sharded.Population())
-			}
-			if proxy.Catalog().Len() != sharded.Catalog().Len() {
-				t.Fatalf("catalog mismatch: %d vs %d", proxy.Catalog().Len(), sharded.Catalog().Len())
-			}
-			r := rng.New(seed).Derive("proxy-property-queries")
-			for trial := 0; trial < 25; trial++ {
-				clauses := randomClauses(r, cfg.Population.CatalogSize)
-				if got, want := proxy.UnionShare(context.Background(), clauses), sharded.UnionShare(context.Background(), clauses); got != want {
-					t.Fatalf("seed %d shards=%d trial %d: proxy UnionShare = %v, sharded %v — must be byte-identical",
-						seed, shards, trial, got, want)
+			for _, replicas := range []int{1, 2} {
+				sharded, err := NewShardedBackend(context.Background(), cfg, shards)
+				if err != nil {
+					t.Fatal(err)
 				}
-				f := randomFilter(r)
-				if got, want := proxy.DemoShare(context.Background(), f), sharded.DemoShare(context.Background(), f); got != want {
-					t.Fatalf("seed %d shards=%d trial %d: proxy DemoShare = %v, sharded %v — must be byte-identical",
-						seed, shards, trial, got, want)
+				topo := startReplicatedShardTopology(t, cfg, shards, replicas, func(h http.Handler) http.Handler {
+					// Generous limits: the stack must engage (keys resolve,
+					// tokens charge, slots count) without ever rejecting.
+					return NewGate(GateConfig{MaxInFlight: 64},
+						NewAdmission(AdmissionConfig{
+							Rate: 1e6, Burst: 1e6,
+							Cost: func(*http.Request) float64 { return 2 },
+						}, h))
+				})
+				pc := ProxyConfig{
+					Shards:  topo,
+					Breaker: BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour},
 				}
-				conj := clauses[0]
-				if got, want := proxy.ConditionalAudience(context.Background(), f, conj), sharded.ConditionalAudience(context.Background(), f, conj); got != want {
-					t.Fatalf("seed %d shards=%d trial %d: proxy ConditionalAudience = %v, sharded %v — must be byte-identical",
-						seed, shards, trial, got, want)
+				if replicas > 1 {
+					// Hedge essentially immediately: the injected Sleep makes
+					// the hedge timer fire as soon as its goroutine runs.
+					pc.HedgeAfter = time.Microsecond
+					pc.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+				}
+				proxy := newTestProxy(t, cfg, nil, pc)
+				if proxy.Population() != sharded.Population() {
+					t.Fatalf("population mismatch: %d vs %d", proxy.Population(), sharded.Population())
+				}
+				if proxy.Catalog().Len() != sharded.Catalog().Len() {
+					t.Fatalf("catalog mismatch: %d vs %d", proxy.Catalog().Len(), sharded.Catalog().Len())
+				}
+				r := rng.New(seed).Derive("proxy-property-queries")
+				for trial := 0; trial < 25; trial++ {
+					clauses := randomClauses(r, cfg.Population.CatalogSize)
+					if got, want := proxy.UnionShare(context.Background(), clauses), sharded.UnionShare(context.Background(), clauses); got != want {
+						t.Fatalf("seed %d shards=%d replicas=%d trial %d: proxy UnionShare = %v, sharded %v — must be byte-identical",
+							seed, shards, replicas, trial, got, want)
+					}
+					f := randomFilter(r)
+					if got, want := proxy.DemoShare(context.Background(), f), sharded.DemoShare(context.Background(), f); got != want {
+						t.Fatalf("seed %d shards=%d replicas=%d trial %d: proxy DemoShare = %v, sharded %v — must be byte-identical",
+							seed, shards, replicas, trial, got, want)
+					}
+					conj := clauses[0]
+					if got, want := proxy.ConditionalAudience(context.Background(), f, conj), sharded.ConditionalAudience(context.Background(), f, conj); got != want {
+						t.Fatalf("seed %d shards=%d replicas=%d trial %d: proxy ConditionalAudience = %v, sharded %v — must be byte-identical",
+							seed, shards, replicas, trial, got, want)
+					}
+				}
+				st := proxy.HealthStats()
+				if st.Down != 0 {
+					t.Fatalf("seed %d shards=%d replicas=%d: healthy run marked replicas down: %+v", seed, shards, replicas, st)
+				}
+				if replicas > 1 && st.Hedged == 0 {
+					t.Fatalf("seed %d shards=%d replicas=%d: hedging armed with an instant delay but no hedge launched", seed, shards, replicas)
+				}
+				for _, sh := range st.Shards {
+					if sh.Breaker != "closed" {
+						t.Fatalf("seed %d shards=%d replicas=%d: breaker %d/%d %s after healthy run (hedge losers must be neutral)",
+							seed, shards, replicas, sh.Shard, sh.Replica, sh.Breaker)
+					}
 				}
 			}
 		}
@@ -159,6 +216,18 @@ func TestNewProxyBackendErrors(t *testing.T) {
 	cfg := smallConfig(1)
 	if _, err := NewProxyBackend(cfg, ProxyConfig{}); err == nil {
 		t.Fatal("no URLs should fail")
+	}
+	if _, err := NewProxyBackend(cfg, ProxyConfig{URLs: []string{"a"}, Shards: [][]string{{"a"}}}); err == nil {
+		t.Fatal("setting both URLs and Shards should fail")
+	}
+	if _, err := NewProxyBackend(cfg, ProxyConfig{Shards: [][]string{{"a"}, {}}}); err == nil {
+		t.Fatal("a shard with no replicas should fail")
+	}
+	if _, err := NewProxyBackend(cfg, ProxyConfig{Shards: [][]string{{"a", " "}}}); err == nil {
+		t.Fatal("a blank replica URL should fail")
+	}
+	if _, err := NewProxyBackend(cfg, ProxyConfig{URLs: []string{"a"}, HedgeAfter: -time.Second}); err == nil {
+		t.Fatal("negative HedgeAfter should fail")
 	}
 	cfg.Population.Population = 2
 	if _, err := NewProxyBackend(cfg, ProxyConfig{URLs: []string{"a", "b", "c"}}); err == nil {
@@ -276,6 +345,10 @@ func TestProxyRetriesTransientFailures(t *testing.T) {
 	proxy := newTestProxy(t, cfg, []string{flaky.URL}, ProxyConfig{
 		MaxRetries: 2,
 		RetryBase:  time.Millisecond,
+		// Zero jitter pins the schedule so the sleep assertion below is
+		// exact; the default jitter source is covered by
+		// TestDefaultJitterBounds.
+		Jitter: func(shard, replica, attempt int) float64 { return 0 },
 		Sleep: func(ctx context.Context, d time.Duration) error {
 			slept = append(slept, d)
 			return nil

@@ -8,10 +8,14 @@
 #      against a 100ms RPC timeout (every shard-0 RPC times out; the
 #      circuit breaker trips) still answers the whole flood with 0 errors,
 #      serving renormalized/degraded answers from the healthy shard;
-#   3. with shard 1 killed, the renormalize proxy still answers everything
+#   3. replica pass: shard 0 runs as a two-replica set behind a hedging
+#      proxy; one replica is killed mid-flood and the flood must finish
+#      with 0 errors, 0 degraded stamps, and the post-kill answer must be
+#      byte-identical to the healthy one (replica failover is EXACT);
+#   4. with shard 1 killed, the renormalize proxy still answers everything
 #      (0 errors) and stamps responses degraded (gated via the loadgen
 #      "degraded" tally);
-#   4. a fail-policy proxy over the same (half-dead) topology answers 503
+#   5. a fail-policy proxy over the same (half-dead) topology answers 503
 #      with a JSON body naming the dead shard's URL.
 #
 # Parameterized by environment so CI can scale it down:
@@ -30,9 +34,11 @@ OUT_JSON="${OUT_JSON:-proxy-smoke.json}"
 
 SHARD0_PORT=19100
 SHARD1_PORT=19101
+SHARD0B_PORT=19102
 PROXY_PORT=19080
 FAIL_PROXY_PORT=19081
 CHAOS_PROXY_PORT=19082
+REPLICA_PROXY_PORT=19083
 
 WORLD="-catalog $CATALOG -population $POPULATION"
 PIDS=""
@@ -135,12 +141,60 @@ grep -q '"degraded"' "$CHAOS_JSON" || {
     exit 1
 }
 
+echo "==> flood 3 (replicas): shard 0 replicated, one replica killed mid-flood"
+REPLICA_JSON="${OUT_JSON%.json}-replica.json"
+/tmp/proxy-smoke-fbadsd $WORLD -shard-of 0/2 -shard-listen "127.0.0.1:$SHARD0B_PORT" &
+SHARD0B_PID=$!
+PIDS="$PIDS $SHARD0B_PID"
+wait_http "http://127.0.0.1:$SHARD0B_PORT/shard/v1/health"
+REPLICA_URLS="http://127.0.0.1:$SHARD0_PORT|http://127.0.0.1:$SHARD0B_PORT,http://127.0.0.1:$SHARD1_PORT"
+/tmp/proxy-smoke-fbadsd $WORLD -proxy "$REPLICA_URLS" -degrade renormalize \
+    -hedge-after 50ms -health-interval 200ms -addr "127.0.0.1:$REPLICA_PROXY_PORT" &
+PIDS="$PIDS $!"
+wait_http "http://127.0.0.1:$REPLICA_PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC"
+# Reference answer with every replica healthy: replica failover must
+# reproduce it byte-for-byte later.
+curl -gfsS "http://127.0.0.1:$REPLICA_PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC" \
+    > /tmp/proxy-smoke-replica-healthy.json
+/tmp/proxy-smoke-fbadsload -url "http://127.0.0.1:$REPLICA_PROXY_PORT" \
+    $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
+    -concurrency "$CONCURRENCY" \
+    -note "proxy 3-process topology (shard 0 x2 replicas, replica b killed mid-flood)" \
+    -json "$REPLICA_JSON" &
+FLOOD_PID=$!
+sleep 0.2
+echo "==> killing shard 0 replica b ($SHARD0B_PID) mid-flood"
+kill "$SHARD0B_PID"
+wait "$SHARD0B_PID" 2>/dev/null || true
+wait "$FLOOD_PID"
+# A dead REPLICA must be invisible: nothing errored, nothing shed or
+# out-deadlined, and — unlike a dead SHARD — nothing renormalized.
+for gate in '"errors": 0' '"shed": 0' '"deadline_exceeded": 0'; do
+    grep -q "$gate" "$REPLICA_JSON" || {
+        echo "FAIL: replica flood missing $gate:" >&2
+        cat "$REPLICA_JSON" >&2
+        exit 1
+    }
+done
+if grep -q '"degraded"' "$REPLICA_JSON"; then
+    echo "FAIL: replica failover stamped responses degraded (failover must be exact)" >&2
+    cat "$REPLICA_JSON" >&2
+    exit 1
+fi
+curl -gfsS "http://127.0.0.1:$REPLICA_PROXY_PORT/v9.0/act_1/reachestimate?targeting_spec=$SPEC" \
+    > /tmp/proxy-smoke-replica-failover.json
+cmp /tmp/proxy-smoke-replica-healthy.json /tmp/proxy-smoke-replica-failover.json || {
+    echo "FAIL: answer changed after losing a replica (want byte-identical):" >&2
+    cat /tmp/proxy-smoke-replica-healthy.json /tmp/proxy-smoke-replica-failover.json >&2
+    exit 1
+}
+
 echo "==> killing shard 1 ($SHARD1_PID)"
 kill "$SHARD1_PID"
 wait "$SHARD1_PID" 2>/dev/null || true
 sleep 1  # > health-interval: let the probes notice
 
-echo "==> flood 3: one shard down, renormalize proxy must answer everything"
+echo "==> flood 4: one shard down, renormalize proxy must answer everything"
 DEGRADED_JSON="${OUT_JSON%.json}-degraded.json"
 /tmp/proxy-smoke-fbadsload -url "http://127.0.0.1:$PROXY_PORT" \
     $WORLD -accounts "$ACCOUNTS" -probes "$PROBES" -interests "$INTERESTS" \
